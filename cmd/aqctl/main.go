@@ -1,0 +1,118 @@
+// Command aqctl runs the AQ Controller of §4.1 as a TCP daemon, or acts as
+// a client sending it tenant requests.
+//
+// Server:
+//
+//	aqctl -serve -listen 127.0.0.1:7070 -capacity 10e9 -switches S1,S2
+//
+// Client:
+//
+//	aqctl -addr 127.0.0.1:7070 -op grant -tenant t1 -mode weighted \
+//	      -weight 1 -cc ecn -position ingress -switch S1
+//	aqctl -addr 127.0.0.1:7070 -op set_active -id 3 -active=false
+//	aqctl -addr 127.0.0.1:7070 -op release -id 3
+//	aqctl -addr 127.0.0.1:7070 -op list
+//
+// The daemon owns one AQ table per registered switch pipeline; in a real
+// deployment the table writes would be mirrored to the switch data plane
+// through its runtime API (§4.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"aqueue/internal/control"
+	"aqueue/internal/units"
+)
+
+func main() {
+	var (
+		serve    = flag.Bool("serve", false, "run as the controller daemon")
+		listen   = flag.String("listen", "127.0.0.1:7070", "daemon listen address")
+		switches = flag.String("switches", "S1", "comma-separated switch names to manage")
+		capacity = flag.Float64("capacity", 10e9, "managed link capacity in bits/s")
+
+		addr     = flag.String("addr", "127.0.0.1:7070", "daemon address (client mode)")
+		op       = flag.String("op", "", "client operation: grant|release|set_active|list")
+		tenant   = flag.String("tenant", "", "tenant name")
+		mode     = flag.String("mode", "absolute", "absolute|weighted")
+		bw       = flag.Float64("bandwidth", 0, "requested bandwidth in bits/s (absolute mode)")
+		weight   = flag.Float64("weight", 0, "network weight (weighted mode)")
+		ccName   = flag.String("cc", "drop", "drop|ecn|delay")
+		position = flag.String("position", "ingress", "ingress|egress")
+		swName   = flag.String("switch", "S1", "target switch")
+		id       = flag.Uint("id", 0, "AQ id (release/set_active)")
+		active   = flag.Bool("active", true, "set_active value")
+	)
+	flag.Parse()
+
+	if *serve {
+		runServer(*listen, *switches, units.BitRate(*capacity))
+		return
+	}
+	if *op == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	runClient(*addr, control.WireRequest{
+		Op:        *op,
+		Tenant:    *tenant,
+		Mode:      *mode,
+		Bandwidth: *bw,
+		Weight:    *weight,
+		CC:        *ccName,
+		Position:  *position,
+		Switch:    *swName,
+		ID:        uint32(*id),
+		Active:    active,
+	})
+}
+
+func runServer(listen, switches string, capacity units.BitRate) {
+	ctrl := control.NewController(capacity)
+	srv := control.NewServer(ctrl)
+	for _, sw := range strings.Split(switches, ",") {
+		sw = strings.TrimSpace(sw)
+		if sw == "" {
+			continue
+		}
+		srv.RegisterTable(sw, control.Ingress, nil)
+		srv.RegisterTable(sw, control.Egress, nil)
+		log.Printf("managing switch %s (ingress+egress pipelines)", sw)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("AQ controller listening on %s, capacity %v", ln.Addr(), capacity)
+	if err := srv.Serve(ln); err != nil {
+		log.Printf("serve: %v", err)
+	}
+}
+
+func runClient(addr string, req control.WireRequest) {
+	cli, err := control.Dial(addr)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer cli.Close()
+	resp, err := cli.Do(req)
+	if err != nil {
+		log.Fatalf("%s: %v", req.Op, err)
+	}
+	switch req.Op {
+	case "grant":
+		fmt.Printf("granted AQ id=%d rate=%v\n", resp.ID, units.BitRate(resp.Rate))
+	case "set_active":
+		fmt.Printf("AQ id=%d rate=%v\n", resp.ID, units.BitRate(resp.Rate))
+	case "list":
+		fmt.Printf("granted AQ ids: %v\n", resp.IDs)
+	default:
+		fmt.Println("ok")
+	}
+}

@@ -1,0 +1,133 @@
+// Command aqload sweeps a parameter of the AQ system and emits CSV for
+// plotting. It complements cmd/aqsim (which reproduces the paper's exact
+// tables) with continuous sensitivity curves.
+//
+// Sweeps:
+//
+//	aqload -sweep entities   # fairness and utilization vs entity count
+//	aqload -sweep limit      # achieved rate vs AQ limit (§6 sizing)
+//	aqload -sweep load       # FCT vs offered load under AQ vs PQ
+//
+// Output is CSV on stdout; -ms and -seed tune the runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aqueue/internal/cc"
+	"aqueue/internal/control"
+	"aqueue/internal/experiments"
+	"aqueue/internal/sim"
+	"aqueue/internal/stats"
+	"aqueue/internal/topo"
+	"aqueue/internal/transport"
+	"aqueue/internal/workload"
+)
+
+func main() {
+	sweep := flag.String("sweep", "entities", "entities|limit|load")
+	ms := flag.Int("ms", 80, "simulated horizon in milliseconds")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+	h := sim.Time(*ms) * sim.Millisecond
+
+	switch *sweep {
+	case "entities":
+		sweepEntities(h)
+	case "limit":
+		sweepLimit(h)
+	case "load":
+		sweepLoad(h, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+// sweepEntities: n weighted entities share 10G; report Jain fairness and
+// total utilization as n grows (the R3 scalability requirement, in vivo).
+func sweepEntities(horizon sim.Time) {
+	fmt.Println("entities,jain,total_gbps")
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		eng := sim.NewEngine()
+		spec := topo.DefaultSim()
+		d := topo.NewDumbbell(eng, n, n, spec, spec)
+		ctrl := control.NewController(spec.Rate)
+		senders := make([][]*transport.Sender, n)
+		for i := 0; i < n; i++ {
+			g, err := ctrl.Grant(control.Request{Tenant: fmt.Sprint(i),
+				Mode: control.Weighted, Weight: 1, Limit: spec.QueueLimit,
+				Position: control.Ingress}, d.S1.Ingress)
+			if err != nil {
+				panic(err)
+			}
+			s := transport.NewSender(d.Left[i], d.Right[i], 0, cc.NewCubic(),
+				transport.Options{IngressAQ: g.ID})
+			s.Start(sim.Time(i) * 10 * sim.Microsecond)
+			senders[i] = []*transport.Sender{s}
+		}
+		eng.RunUntil(horizon)
+		shares := make([]float64, n)
+		var total float64
+		for i := range senders {
+			shares[i] = float64(senders[i][0].AckedBytes())
+			total += shares[i]
+		}
+		fmt.Printf("%d,%.4f,%.3f\n", n, stats.JainIndex(shares),
+			stats.RateGbps(uint64(total), horizon))
+	}
+}
+
+// sweepLimit: achieved fraction of a 5G allocation vs the AQ limit.
+func sweepLimit(horizon sim.Time) {
+	fmt.Println("limit_bytes,gbps,fraction_of_allocation")
+	for _, limit := range []int{2_000, 4_000, 8_000, 16_000, 40_000, 100_000, 400_000} {
+		g := experiments.AblationAQLimit(limit, horizon)
+		fmt.Printf("%d,%.3f,%.3f\n", limit, g, g/5.0)
+	}
+}
+
+// sweepLoad: mean FCT of a web-search batch vs offered load, PQ vs AQ
+// (one entity holding the full link, so AQ overhead is isolated).
+func sweepLoad(horizon sim.Time, seed uint64) {
+	fmt.Println("load,pq_mean_fct_us,aq_mean_fct_us")
+	for _, load := range []float64{0.2, 0.4, 0.6, 0.8} {
+		row := make([]float64, 0, 2)
+		for _, useAQ := range []bool{false, true} {
+			eng := sim.NewEngine()
+			spec := topo.DefaultSim()
+			d := topo.NewDumbbell(eng, 2, 2, spec, spec)
+			var opt transport.Options
+			opt.EcnCapable = true
+			if useAQ {
+				ctrl := control.NewController(spec.Rate)
+				g, err := ctrl.Grant(control.Request{Tenant: "app",
+					Mode: control.Weighted, Weight: 1, Limit: spec.QueueLimit,
+					Position: control.Ingress}, d.S1.Ingress)
+				if err != nil {
+					panic(err)
+				}
+				opt.IngressAQ = g.ID
+			}
+			e := &workload.Entity{
+				Name:    "app",
+				Sources: d.Left,
+				Dests:   d.Right,
+				CC:      cc.ByName("dctcp"),
+				Opt:     opt,
+			}
+			workload.Generate(eng, e, workload.Batch{
+				Flows: 200,
+				Sizes: workload.WebSearch{},
+				Load:  load,
+				Ref:   spec.Rate,
+				Seed:  seed,
+			})
+			eng.RunUntil(10 * horizon)
+			row = append(row, float64(e.Tracker.MeanFCT())/1000)
+		}
+		fmt.Printf("%.1f,%.1f,%.1f\n", load, row[0], row[1])
+	}
+}

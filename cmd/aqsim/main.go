@@ -1,0 +1,98 @@
+// Command aqsim runs the paper's experiments and prints the tables and
+// series of §5 (plus the motivating Figure 1 and conceptual Figure 3).
+//
+// Usage:
+//
+//	aqsim -experiment all            # everything (slow)
+//	aqsim -experiment table2         # one experiment
+//	aqsim -experiment fig6 -quick    # reduced workload for a fast look
+//
+// Experiments: fig1 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// table2 table3 table4 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aqueue/internal/experiments"
+	"aqueue/internal/sim"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run (fig1..fig12, table2..table4, all)")
+	quick := flag.Bool("quick", false, "use reduced horizons/workloads")
+	format := flag.String("format", "text", "output format: text|csv")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+	outputFormat = *format
+
+	horizon := 400 * sim.Millisecond
+	flows := 150
+	if *quick {
+		horizon = 120 * sim.Millisecond
+		flows = 40
+	}
+
+	runners := map[string]func(){
+		"fig1": func() { show(experiments.Fig1(horizon)) },
+		"fig3": func() { show(experiments.Fig3Table(8)) },
+		"fig6": func() { show(experiments.Fig6(nil, flows, *seed)) },
+		"fig7": func() { show(experiments.Fig7(nil, flows, *seed)) },
+		"fig8": func() { show(experiments.Fig8(nil, horizon)) },
+		"fig9": func() {
+			a, b := experiments.Fig9(horizon / 4)
+			show(a)
+			show(b)
+		},
+		"fig10": func() {
+			a, b := experiments.Fig10(flows, *seed)
+			show(a)
+			show(b)
+		},
+		"fig11":  func() { show(experiments.Fig11()) },
+		"fig12":  func() { show(experiments.Fig12()) },
+		"table2": func() { show(experiments.Table2(horizon)) },
+		"table3": func() { show(experiments.Table3()) },
+		"table4": func() {
+			t, _ := experiments.Table4()
+			show(t)
+		},
+		"extfabric": func() { show(experiments.ExtFabric(horizon)) },
+		"extqueues": func() { show(experiments.ExtPerQueueTable(horizon)) },
+	}
+	order := []string{"fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "table2", "table3", "table4", "extfabric", "extqueues"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			timed(name, runners[name])
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: %v, all\n", *exp, order)
+		os.Exit(2)
+	}
+	timed(*exp, run)
+}
+
+var outputFormat = "text"
+
+func show(t *experiments.Table) {
+	if outputFormat == "csv" {
+		fmt.Print(t.CSV())
+		fmt.Println()
+		return
+	}
+	fmt.Println(t.Render())
+}
+
+func timed(name string, fn func()) {
+	start := time.Now()
+	fn()
+	fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,91 @@
+// vmguarantee: the link-layer use case (§5.4, Figure 2). Four VMs hang off
+// one 25 Gbps switch. VM A has a traffic profile of 5 Gbps outbound and
+// 5 Gbps inbound. Three VMs blast traffic at A while A sends to all of
+// them. An ingress-pipeline AQ enforces A's outbound profile and an
+// egress-pipeline AQ enforces its inbound profile — something neither the
+// physical queue nor end-host rate limiters can do (Table 3).
+//
+// Run: go run ./examples/vmguarantee
+package main
+
+import (
+	"fmt"
+
+	"aqueue/internal/cc"
+	"aqueue/internal/control"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/stats"
+	"aqueue/internal/topo"
+	"aqueue/internal/transport"
+	"aqueue/internal/units"
+)
+
+func main() {
+	eng := sim.NewEngine()
+	spec := topo.DefaultTestbed() // 25 Gbps star, the paper's Tofino setup
+	st := topo.NewStar(eng, 4, spec)
+	a := st.Hosts[0]
+	const profile = 5 * units.Gbps
+
+	ctrl := control.NewController(spec.Rate)
+	outAQ := make(map[packet.HostID]packet.AQID)
+	inAQ := make(map[packet.HostID]packet.AQID)
+	for _, h := range st.Hosts {
+		gOut, err := ctrl.Grant(control.Request{Tenant: "vm-out", Mode: control.Absolute,
+			Bandwidth: profile, Limit: spec.QueueLimit, Position: control.Ingress}, st.SW.Ingress)
+		if err != nil {
+			panic(err)
+		}
+		gIn, err := ctrl.Grant(control.Request{Tenant: "vm-in", Mode: control.Absolute,
+			Bandwidth: profile, Limit: spec.QueueLimit, Position: control.Egress}, st.SW.Egress)
+		if err != nil {
+			panic(err)
+		}
+		outAQ[h.ID()] = gOut.ID
+		inAQ[h.ID()] = gIn.ID
+	}
+
+	// Measure VM A's two directions.
+	outMeter := stats.NewMeter(sim.Millisecond)
+	inMeter := stats.NewMeter(sim.Millisecond)
+	for _, h := range st.Hosts {
+		h.RxHook = func(p *packet.Packet) {
+			if p.Kind != packet.Data {
+				return
+			}
+			if p.Src == a.ID() {
+				outMeter.Add(eng.Now(), p.Size)
+			}
+			if p.Dst == a.ID() {
+				inMeter.Add(eng.Now(), p.Size)
+			}
+		}
+	}
+
+	// Saturating long flows: A -> everyone, everyone -> A, tagged with the
+	// granted AQ IDs (the hypervisor's job in §4.1).
+	start := func(src, dst *topo.Host, n int) {
+		for i := 0; i < n; i++ {
+			s := transport.NewSender(src, dst, 0, cc.NewCubic(), transport.Options{
+				IngressAQ: outAQ[src.ID()],
+				EgressAQ:  inAQ[dst.ID()],
+			})
+			s.Start(sim.Time(i) * 30 * sim.Microsecond)
+		}
+	}
+	for _, h := range st.Hosts[1:] {
+		start(a, h, 3)
+		start(h, a, 3)
+	}
+
+	const horizon = 200 * sim.Millisecond
+	eng.RunUntil(horizon)
+	warm := horizon / 4
+	fmt.Println("VM A profile: 5 Gbps outbound + 5 Gbps inbound on a 25 Gbps fabric")
+	fmt.Printf("  measured outbound: %.2f Gbps\n", outMeter.Gbps(warm, horizon))
+	fmt.Printf("  measured inbound:  %.2f Gbps (three VMs sending simultaneously)\n",
+		inMeter.Gbps(warm, horizon))
+	fmt.Println("\nan end-host limiter would have let inbound reach ~15 Gbps (Table 3);")
+	fmt.Println("the egress-pipeline AQ holds it at the profile.")
+}

@@ -1,0 +1,73 @@
+// workconserve: the §6 extension. Bandwidth guarantees are not work
+// conserving: a 3 Gbps entity sharing a 10 Gbps link with an idle peer
+// still gets only 3 Gbps. With the switch's work-conservation option, AQ
+// processing is bypassed while the physical queue is empty, so the active
+// entity grabs the idle capacity — and as soon as the peer wakes up and
+// the queue builds, AQ enforcement snaps back.
+//
+// Run: go run ./examples/workconserve
+package main
+
+import (
+	"fmt"
+
+	"aqueue/internal/cc"
+	"aqueue/internal/control"
+	"aqueue/internal/sim"
+	"aqueue/internal/stats"
+	"aqueue/internal/topo"
+	"aqueue/internal/transport"
+	"aqueue/internal/units"
+)
+
+func run(workConserving bool) (aloneG, sharedG float64) {
+	eng := sim.NewEngine()
+	spec := topo.DefaultSim()
+	d := topo.NewDumbbell(eng, 2, 2, spec, spec)
+	d.S1.WorkConserving = workConserving
+
+	ctrl := control.NewController(spec.Rate)
+	gA, err := ctrl.Grant(control.Request{Tenant: "A", Mode: control.Absolute,
+		Bandwidth: 3 * units.Gbps, Limit: spec.QueueLimit, Position: control.Ingress}, d.S1.Ingress)
+	if err != nil {
+		panic(err)
+	}
+	gB, err := ctrl.Grant(control.Request{Tenant: "B", Mode: control.Absolute,
+		Bandwidth: 7 * units.Gbps, Limit: spec.QueueLimit, Position: control.Ingress}, d.S1.Ingress)
+	if err != nil {
+		panic(err)
+	}
+
+	// Entity A runs the whole time; entity B (7 Gbps guarantee) only wakes
+	// up for the second half.
+	a := transport.NewSender(d.Left[0], d.Right[0], 0, cc.NewCubic(),
+		transport.Options{IngressAQ: gA.ID})
+	a.Start(0)
+	const half = 100 * sim.Millisecond
+	var bs []*transport.Sender
+	for i := 0; i < 4; i++ {
+		b := transport.NewSender(d.Left[1], d.Right[1], 0, cc.NewCubic(),
+			transport.Options{IngressAQ: gB.ID})
+		b.Start(half + sim.Time(i)*30*sim.Microsecond)
+		bs = append(bs, b)
+	}
+
+	eng.RunUntil(half)
+	acked1 := uint64(a.AckedBytes())
+	eng.RunUntil(2 * half)
+	acked2 := uint64(a.AckedBytes()) - acked1
+	_ = bs
+	return stats.RateGbps(acked1, half), stats.RateGbps(acked2, half)
+}
+
+func main() {
+	strictAlone, strictShared := run(false)
+	wcAlone, wcShared := run(true)
+	fmt.Println("entity A: 3 Gbps guarantee; entity B: 7 Gbps guarantee, idle for the first 100 ms")
+	fmt.Printf("  strict AQ:           A alone %.2f Gbps, A with B active %.2f Gbps\n",
+		strictAlone, strictShared)
+	fmt.Printf("  work-conserving (§6): A alone %.2f Gbps, A with B active %.2f Gbps\n",
+		wcAlone, wcShared)
+	fmt.Println("\nwith the empty-queue bypass, A uses the idle link (≈10 Gbps) and falls")
+	fmt.Println("back to its 3 Gbps guarantee once B's traffic builds the queue.")
+}

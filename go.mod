@@ -1,0 +1,3 @@
+module aqueue
+
+go 1.22

@@ -1,0 +1,109 @@
+// Package cc implements the five congestion-control algorithms the paper
+// evaluates (§5.1): the drop-based CUBIC, NewReno and Illinois, the
+// ECN-based DCTCP, and the delay-based Swift.
+//
+// Algorithms are pure window controllers: the transport feeds them ACK
+// events (with RTT, fabric-delay and ECN-echo information) plus loss and
+// timeout notifications, and reads back the congestion window. Everything
+// is expressed in packets (fractional windows are allowed; Swift uses
+// cwnd < 1 with pacing, per its SIGCOMM'20 design).
+package cc
+
+import (
+	"aqueue/internal/sim"
+)
+
+// Ack carries the per-acknowledgement feedback an algorithm sees.
+type Ack struct {
+	Now sim.Time
+	// RTT is the measured round-trip time of the newest acked segment.
+	RTT sim.Time
+	// Delay is the fabric-delay signal: physical queuing delay plus any
+	// virtual queuing delay stamped by delay-type AQs (§3.3.2). Delay-based
+	// algorithms use this instead of raw RTT.
+	Delay sim.Time
+	// ECE reports the receiver's ECN echo for the acked segment.
+	ECE bool
+	// Bytes is the number of newly acknowledged bytes.
+	Bytes int
+	// MSS is the sender's segment size in bytes.
+	MSS int
+}
+
+// Algorithm is a congestion window controller.
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("cubic", "dctcp", ...).
+	Name() string
+	// OnAck processes one new acknowledgement.
+	OnAck(a Ack)
+	// OnLoss reacts to a fast-retransmit loss event (at most once per
+	// window; the transport gates re-entry during recovery).
+	OnLoss(now sim.Time)
+	// OnTimeout reacts to a retransmission timeout.
+	OnTimeout(now sim.Time)
+	// Cwnd returns the congestion window in packets; values below 1
+	// request paced sub-packet-per-RTT operation.
+	Cwnd() float64
+}
+
+// Factory builds a fresh algorithm instance for a new flow.
+type Factory func() Algorithm
+
+// ByName returns a factory for the given algorithm name, or nil when the
+// name is unknown. The paper's five evaluation algorithms are newreno,
+// cubic, illinois, dctcp and swift; bbr and timely are the §7 extensions.
+func ByName(name string) Factory {
+	switch name {
+	case "newreno":
+		return func() Algorithm { return NewNewReno() }
+	case "cubic":
+		return func() Algorithm { return NewCubic() }
+	case "illinois":
+		return func() Algorithm { return NewIllinois() }
+	case "dctcp":
+		return func() Algorithm { return NewDCTCP() }
+	case "swift":
+		return func() Algorithm { return NewSwift() }
+	case "bbr":
+		return func() Algorithm { return NewBBR() }
+	case "timely":
+		return func() Algorithm { return NewTimely() }
+	default:
+		return nil
+	}
+}
+
+// Names lists every registered algorithm.
+func Names() []string {
+	return []string{"newreno", "cubic", "illinois", "dctcp", "swift", "bbr", "timely"}
+}
+
+// Shared window bounds.
+const (
+	initialCwnd   = 10.0
+	maxCwnd       = 10000.0
+	minLossCwnd   = 1.0 // floor for loss/ECN-based algorithms
+	initialThresh = 1e9 // "infinite" initial slow-start threshold
+)
+
+// ackSegs converts acknowledged bytes to segments with appropriate byte
+// counting (RFC 3465, L=2): a giant cumulative ACK after loss recovery
+// fills holes, it does not certify that the path can absorb a burst, so
+// window growth per ACK is capped at two segments.
+func ackSegs(a Ack) float64 {
+	segs := float64(a.Bytes) / float64(a.MSS)
+	if segs > 2 {
+		return 2
+	}
+	return segs
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,255 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aqueue/internal/sim"
+)
+
+const mss = 1000
+
+func ackAt(now sim.Time, rtt sim.Time) Ack {
+	return Ack{Now: now, RTT: rtt, Delay: 0, Bytes: mss, MSS: mss}
+}
+
+func all() []Factory {
+	return []Factory{
+		func() Algorithm { return NewNewReno() },
+		func() Algorithm { return NewCubic() },
+		func() Algorithm { return NewIllinois() },
+		func() Algorithm { return NewDCTCP() },
+		func() Algorithm { return NewSwift() },
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"newreno", "cubic", "illinois", "dctcp", "swift"} {
+		f := ByName(name)
+		if f == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if got := f().Name(); got != name {
+			t.Fatalf("ByName(%q)().Name() = %q", name, got)
+		}
+	}
+	if ByName("hpcc") != nil {
+		t.Fatal("unknown name returned a factory")
+	}
+}
+
+func TestSlowStartDoublesPerRTT(t *testing.T) {
+	// Loss-based algorithms in slow start add one segment per acked
+	// segment: acking a full window doubles it.
+	for _, f := range []Factory{
+		func() Algorithm { return NewNewReno() },
+		func() Algorithm { return NewCubic() },
+		func() Algorithm { return NewIllinois() },
+	} {
+		a := f()
+		w0 := a.Cwnd()
+		for i := 0; i < int(w0); i++ {
+			a.OnAck(ackAt(sim.Time(i)*1000, 100*sim.Microsecond))
+		}
+		if got := a.Cwnd(); got < 2*w0-0.01 {
+			t.Errorf("%s: cwnd after acking one window = %v, want ~%v", a.Name(), got, 2*w0)
+		}
+	}
+}
+
+func TestLossReducesWindow(t *testing.T) {
+	for _, f := range all() {
+		a := f()
+		// Grow a bit first.
+		for i := 0; i < 100; i++ {
+			a.OnAck(ackAt(sim.Time(i)*100000, 100*sim.Microsecond))
+		}
+		before := a.Cwnd()
+		a.OnLoss(sim.Time(100) * sim.Millisecond)
+		if a.Cwnd() >= before {
+			t.Errorf("%s: cwnd did not shrink on loss (%v -> %v)", a.Name(), before, a.Cwnd())
+		}
+	}
+}
+
+func TestTimeoutCollapsesLossBased(t *testing.T) {
+	for _, f := range []Factory{
+		func() Algorithm { return NewNewReno() },
+		func() Algorithm { return NewCubic() },
+		func() Algorithm { return NewIllinois() },
+		func() Algorithm { return NewDCTCP() },
+	} {
+		a := f()
+		for i := 0; i < 50; i++ {
+			a.OnAck(ackAt(sim.Time(i)*100000, 100*sim.Microsecond))
+		}
+		a.OnTimeout(sim.Time(10) * sim.Millisecond)
+		if a.Cwnd() != minLossCwnd {
+			t.Errorf("%s: cwnd after timeout = %v, want %v", a.Name(), a.Cwnd(), minLossCwnd)
+		}
+	}
+}
+
+func TestCwndAlwaysPositiveAndBounded(t *testing.T) {
+	// Property: any interleaving of acks/losses/timeouts keeps the window
+	// within (0, maxCwnd].
+	f := func(ops []uint8) bool {
+		for _, fac := range all() {
+			a := fac()
+			now := sim.Time(0)
+			for _, op := range ops {
+				now += sim.Time(op) * sim.Microsecond
+				switch op % 5 {
+				case 0, 1, 2:
+					a.OnAck(Ack{Now: now, RTT: 100 * sim.Microsecond,
+						Delay: sim.Time(op) * sim.Microsecond, ECE: op%2 == 0,
+						Bytes: mss, MSS: mss})
+				case 3:
+					a.OnLoss(now)
+				case 4:
+					a.OnTimeout(now)
+				}
+				w := a.Cwnd()
+				if w <= 0 || w > maxCwnd {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCubicRecoversTowardWmax(t *testing.T) {
+	c := NewCubic()
+	// Enter congestion avoidance at a known window.
+	c.cwnd, c.ssthresh = 100, 50
+	c.OnLoss(0)
+	wAfterLoss := c.Cwnd()
+	if wAfterLoss >= 100*cubicBeta+1 || wAfterLoss <= 100*cubicBeta-1 {
+		t.Fatalf("post-loss cwnd = %v, want ~%v", wAfterLoss, 100*cubicBeta)
+	}
+	// Feed acks over time; the cubic curve should approach wMax=100.
+	now := sim.Time(0)
+	for i := 0; i < 5000; i++ {
+		now += 100 * sim.Microsecond
+		c.OnAck(ackAt(now, 100*sim.Microsecond))
+	}
+	if c.Cwnd() < 95 {
+		t.Fatalf("cwnd = %v after long recovery, want to approach 100", c.Cwnd())
+	}
+}
+
+func TestDCTCPAlphaTracksMarkingRate(t *testing.T) {
+	d := NewDCTCP()
+	d.cwnd, d.ssthresh = 50, 1 // force congestion avoidance
+	now := sim.Time(0)
+	rtt := 100 * sim.Microsecond
+	// 100% marking drives alpha toward 1.
+	for i := 0; i < 3000; i++ {
+		now += 10 * sim.Microsecond
+		d.OnAck(Ack{Now: now, RTT: rtt, ECE: true, Bytes: mss, MSS: mss})
+	}
+	if d.Alpha() < 0.9 {
+		t.Fatalf("alpha = %v under full marking, want ~1", d.Alpha())
+	}
+	// No marking decays alpha toward 0.
+	for i := 0; i < 3000; i++ {
+		now += 10 * sim.Microsecond
+		d.OnAck(Ack{Now: now, RTT: rtt, ECE: false, Bytes: mss, MSS: mss})
+	}
+	if d.Alpha() > 0.05 {
+		t.Fatalf("alpha = %v with no marking, want ~0", d.Alpha())
+	}
+}
+
+func TestDCTCPGentlerThanRenoAtLowAlpha(t *testing.T) {
+	d := NewDCTCP()
+	d.cwnd, d.ssthresh = 100, 1
+	d.alpha = 0.1
+	now := sim.Time(0)
+	rtt := 100 * sim.Microsecond
+	// One marked window should cut by roughly alpha/2 = 5%, not 50%.
+	d.windowEnd = 1 // force the window boundary on the next ack
+	d.markedBytes = mss
+	d.ackedBytes = mss * 10
+	d.OnAck(Ack{Now: now + rtt, RTT: rtt, ECE: true, Bytes: mss, MSS: mss})
+	if d.Cwnd() < 90 {
+		t.Fatalf("cwnd = %v after low-alpha mark, want a gentle cut", d.Cwnd())
+	}
+}
+
+func TestSwiftDecreasesAboveTarget(t *testing.T) {
+	s := NewSwiftTarget(50 * sim.Microsecond)
+	s.cwnd = 100
+	now := sim.Time(sim.Second)
+	s.OnAck(Ack{Now: now, RTT: 100 * sim.Microsecond,
+		Delay: 100 * sim.Microsecond, Bytes: mss, MSS: mss})
+	if s.Cwnd() >= 100 {
+		t.Fatalf("cwnd = %v with delay above target, want decrease", s.Cwnd())
+	}
+	// Decrease is gated to once per RTT.
+	w := s.Cwnd()
+	s.OnAck(Ack{Now: now + 1, RTT: 100 * sim.Microsecond,
+		Delay: 200 * sim.Microsecond, Bytes: mss, MSS: mss})
+	if s.Cwnd() != w {
+		t.Fatalf("second decrease within one RTT (%v -> %v)", w, s.Cwnd())
+	}
+}
+
+func TestSwiftGrowsBelowTarget(t *testing.T) {
+	s := NewSwiftTarget(50 * sim.Microsecond)
+	w0 := s.Cwnd()
+	s.OnAck(Ack{Now: 1000, RTT: 40 * sim.Microsecond,
+		Delay: 10 * sim.Microsecond, Bytes: mss, MSS: mss})
+	if s.Cwnd() <= w0 {
+		t.Fatalf("cwnd did not grow below target (%v -> %v)", w0, s.Cwnd())
+	}
+}
+
+func TestSwiftSupportsFractionalWindow(t *testing.T) {
+	s := NewSwiftTarget(50 * sim.Microsecond)
+	now := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		now += sim.Millisecond
+		s.OnAck(Ack{Now: now, RTT: 100 * sim.Microsecond,
+			Delay: sim.Millisecond, Bytes: mss, MSS: mss})
+	}
+	if s.Cwnd() >= 1 {
+		t.Fatalf("cwnd = %v under persistent overload, want < 1", s.Cwnd())
+	}
+	if s.Cwnd() < swiftMinCwnd {
+		t.Fatalf("cwnd = %v below the Swift floor", s.Cwnd())
+	}
+}
+
+func TestIllinoisAlphaAdaptsToDelay(t *testing.T) {
+	il := NewIllinois()
+	il.cwnd, il.ssthresh = 10, 1
+	// Establish base and max RTT: low delay keeps alpha at max.
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += 10 * sim.Microsecond
+		rtt := 100 * sim.Microsecond
+		if i == 0 {
+			rtt = 500 * sim.Microsecond // one spike defines dm
+		}
+		il.OnAck(Ack{Now: now, RTT: rtt, Bytes: mss, MSS: mss})
+	}
+	if il.alpha < ilAlphaMax-0.5 {
+		t.Fatalf("alpha = %v at low delay, want ~%v", il.alpha, ilAlphaMax)
+	}
+	// Sustained high delay shrinks alpha and raises beta.
+	for i := 0; i < 200; i++ {
+		now += 10 * sim.Microsecond
+		il.OnAck(Ack{Now: now, RTT: 480 * sim.Microsecond, Bytes: mss, MSS: mss})
+	}
+	if il.alpha > 1.0 {
+		t.Fatalf("alpha = %v at high delay, want small", il.alpha)
+	}
+	if il.beta < ilBetaMax-0.01 {
+		t.Fatalf("beta = %v at high delay, want ~%v", il.beta, ilBetaMax)
+	}
+}

@@ -1,0 +1,91 @@
+package cc
+
+import (
+	"math"
+
+	"aqueue/internal/sim"
+)
+
+// Cubic implements TCP CUBIC [22]: after a loss the window follows the
+// cubic curve W(t) = C(t-K)^3 + Wmax anchored at the pre-loss maximum, with
+// the standard TCP-friendliness lower bound.
+type Cubic struct {
+	cwnd     float64
+	ssthresh float64
+
+	wMax       float64
+	epochStart sim.Time // zero means "no epoch yet"
+	k          float64  // seconds to reach wMax on the cubic curve
+	origin     float64
+	tcpCwnd    float64 // Reno-friendly estimate
+	lastRTT    sim.Time
+}
+
+// CUBIC constants from the paper/RFC 8312.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a CUBIC controller.
+func NewCubic() *Cubic {
+	return &Cubic{cwnd: initialCwnd, ssthresh: initialThresh}
+}
+
+// Name implements Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Cwnd implements Algorithm.
+func (c *Cubic) Cwnd() float64 { return c.cwnd }
+
+// OnAck implements Algorithm.
+func (c *Cubic) OnAck(a Ack) {
+	c.lastRTT = a.RTT
+	segs := ackSegs(a)
+	if c.cwnd < c.ssthresh {
+		c.cwnd = clamp(c.cwnd+segs, minLossCwnd, maxCwnd)
+		return
+	}
+	if c.epochStart == 0 {
+		c.epochStart = a.Now
+		if c.cwnd < c.wMax {
+			c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+			c.origin = c.wMax
+		} else {
+			c.k = 0
+			c.origin = c.cwnd
+		}
+		c.tcpCwnd = c.cwnd
+	}
+	t := (a.Now - c.epochStart).Seconds()
+	target := c.origin + cubicC*math.Pow(t-c.k, 3)
+	// TCP-friendly region (RFC 8312 §4.2).
+	if a.RTT > 0 {
+		c.tcpCwnd += 3 * (1 - cubicBeta) / (1 + cubicBeta) * segs / c.cwnd
+		if c.tcpCwnd > target {
+			target = c.tcpCwnd
+		}
+	}
+	if target > c.cwnd {
+		c.cwnd += (target - c.cwnd) / c.cwnd * segs
+	} else {
+		c.cwnd += 0.01 * segs / c.cwnd // minimal probing
+	}
+	c.cwnd = clamp(c.cwnd, minLossCwnd, maxCwnd)
+}
+
+// OnLoss implements Algorithm.
+func (c *Cubic) OnLoss(sim.Time) {
+	c.epochStart = 0
+	c.wMax = c.cwnd
+	c.cwnd = clamp(c.cwnd*cubicBeta, minLossCwnd, maxCwnd)
+	c.ssthresh = c.cwnd
+}
+
+// OnTimeout implements Algorithm.
+func (c *Cubic) OnTimeout(sim.Time) {
+	c.epochStart = 0
+	c.wMax = c.cwnd
+	c.ssthresh = clamp(c.cwnd*cubicBeta, 2, maxCwnd)
+	c.cwnd = minLossCwnd
+}

@@ -1,0 +1,92 @@
+package cc
+
+import "aqueue/internal/sim"
+
+// DCTCP implements Data Center TCP [4]: the window is cut in proportion to
+// the EWMA fraction alpha of ECN-marked segments, observed over one-RTT
+// windows, giving a gentle multiplicative decrease that keeps the queue (or
+// the A-Gap, under an ECN-type AQ) pinned near the marking threshold.
+type DCTCP struct {
+	cwnd     float64
+	ssthresh float64
+
+	alpha       float64 // EWMA of the marked fraction
+	ackedBytes  int
+	markedBytes int
+	windowEnd   sim.Time
+	lastRTT     sim.Time
+}
+
+// DCTCP constants (g = 1/16 per the paper).
+const dctcpG = 1.0 / 16
+
+// NewDCTCP returns a DCTCP controller. Alpha starts at 1, as in the Linux
+// implementation, so the first congestion episode reacts like a Reno halve
+// instead of a 1/32 nudge.
+func NewDCTCP() *DCTCP {
+	return &DCTCP{cwnd: initialCwnd, ssthresh: initialThresh, alpha: 1}
+}
+
+// Name implements Algorithm.
+func (d *DCTCP) Name() string { return "dctcp" }
+
+// Cwnd implements Algorithm.
+func (d *DCTCP) Cwnd() float64 { return d.cwnd }
+
+// Alpha exposes the current marked-fraction estimate for tests and reports.
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+// OnAck implements Algorithm.
+func (d *DCTCP) OnAck(a Ack) {
+	if a.RTT > 0 {
+		d.lastRTT = a.RTT
+	}
+	d.ackedBytes += a.Bytes
+	if a.ECE {
+		d.markedBytes += a.Bytes
+		// Exit slow start promptly on the first congestion signal; the
+		// per-window alpha machinery takes over from there.
+		if d.cwnd < d.ssthresh {
+			d.cwnd = clamp(d.cwnd*(1-d.alpha/2), minLossCwnd, maxCwnd)
+			d.ssthresh = d.cwnd
+		}
+	}
+	if d.windowEnd == 0 {
+		d.windowEnd = a.Now + a.RTT
+	}
+	if a.Now >= d.windowEnd && d.ackedBytes > 0 {
+		frac := float64(d.markedBytes) / float64(d.ackedBytes)
+		d.alpha = (1-dctcpG)*d.alpha + dctcpG*frac
+		if d.markedBytes > 0 {
+			d.cwnd = clamp(d.cwnd*(1-d.alpha/2), minLossCwnd, maxCwnd)
+			d.ssthresh = d.cwnd
+		}
+		d.ackedBytes, d.markedBytes = 0, 0
+		rtt := d.lastRTT
+		if rtt <= 0 {
+			rtt = 100 * sim.Microsecond
+		}
+		d.windowEnd = a.Now + rtt
+		return
+	}
+	// Growth between window cuts follows standard TCP.
+	segs := ackSegs(a)
+	if d.cwnd < d.ssthresh {
+		d.cwnd += segs
+	} else {
+		d.cwnd += segs / d.cwnd
+	}
+	d.cwnd = clamp(d.cwnd, minLossCwnd, maxCwnd)
+}
+
+// OnLoss implements Algorithm. DCTCP falls back to Reno behaviour on loss.
+func (d *DCTCP) OnLoss(sim.Time) {
+	d.ssthresh = clamp(d.cwnd/2, 2, maxCwnd)
+	d.cwnd = d.ssthresh
+}
+
+// OnTimeout implements Algorithm.
+func (d *DCTCP) OnTimeout(sim.Time) {
+	d.ssthresh = clamp(d.cwnd/2, 2, maxCwnd)
+	d.cwnd = minLossCwnd
+}

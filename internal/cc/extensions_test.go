@@ -1,0 +1,124 @@
+package cc
+
+import (
+	"testing"
+
+	"aqueue/internal/sim"
+)
+
+func TestNamesAllResolve(t *testing.T) {
+	for _, n := range Names() {
+		f := ByName(n)
+		if f == nil {
+			t.Fatalf("ByName(%q) = nil", n)
+		}
+		if got := f().Name(); got != n {
+			t.Fatalf("factory for %q produced %q", n, got)
+		}
+	}
+}
+
+func TestBBRConvergesToDeliveryRate(t *testing.T) {
+	b := NewBBR()
+	// Feed a steady delivery: one 1000B segment every 800ns = 10 Gbps,
+	// RTT 100us.
+	now := sim.Time(0)
+	for i := 0; i < 5000; i++ {
+		now += 800
+		b.OnAck(Ack{Now: now, RTT: 100 * sim.Microsecond, Bytes: mss, MSS: mss})
+	}
+	if got := b.BtlBwGbps(); got < 9 || got > 13 {
+		t.Fatalf("BtlBw estimate %.2f Gbps, want ~10", got)
+	}
+	// cwnd should be around gain * BDP = 2 * 125 segments (with the probe
+	// cycle wobble).
+	bdp := 10e9 / 8 * 100e-6 / float64(mss) // 125 segments
+	if b.Cwnd() < bdp || b.Cwnd() > 3*bdp {
+		t.Fatalf("cwnd = %.1f, want around %.0f-%.0f", b.Cwnd(), 2*bdp*0.75, 2*bdp*1.25)
+	}
+}
+
+func TestBBRIgnoresIsolatedLoss(t *testing.T) {
+	b := NewBBR()
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		now += 800
+		b.OnAck(Ack{Now: now, RTT: 100 * sim.Microsecond, Bytes: mss, MSS: mss})
+	}
+	w := b.Cwnd()
+	b.OnLoss(now)
+	if b.Cwnd() != w {
+		t.Fatal("BBR reacted to an isolated loss")
+	}
+	b.OnTimeout(now)
+	if b.Cwnd() >= w {
+		t.Fatal("BBR did not collapse on timeout")
+	}
+}
+
+func TestTimelyGradientResponse(t *testing.T) {
+	tm := NewTimely()
+	tm.cwnd = 100
+	now := sim.Time(0)
+	// Low delay: growth.
+	for i := 0; i < 50; i++ {
+		now += 100 * sim.Microsecond
+		tm.OnAck(Ack{Now: now, RTT: 60 * sim.Microsecond,
+			Delay: 10 * sim.Microsecond, Bytes: mss, MSS: mss})
+	}
+	if tm.Cwnd() <= 100 {
+		t.Fatalf("cwnd = %v at low delay, want growth", tm.Cwnd())
+	}
+	// Sharply rising delay above T_high: decrease.
+	w := tm.Cwnd()
+	for i := 0; i < 20; i++ {
+		now += 100 * sim.Microsecond
+		tm.OnAck(Ack{Now: now, RTT: 400 * sim.Microsecond,
+			Delay: sim.Time(200+20*i) * sim.Microsecond, Bytes: mss, MSS: mss})
+	}
+	if tm.Cwnd() >= w {
+		t.Fatalf("cwnd = %v after sustained high delay, want decrease from %v", tm.Cwnd(), w)
+	}
+}
+
+func TestTimelyNegativeGradientGrowsInBand(t *testing.T) {
+	tm := NewTimely()
+	tm.cwnd = 50
+	now := sim.Time(0)
+	// Delay between T_low and T_high but falling: gradient <= 0 -> grow.
+	for i := 0; i < 30; i++ {
+		now += 100 * sim.Microsecond
+		d := sim.Time(120-2*i) * sim.Microsecond
+		tm.OnAck(Ack{Now: now, RTT: 200 * sim.Microsecond, Delay: d, Bytes: mss, MSS: mss})
+	}
+	if tm.Cwnd() <= 50 {
+		t.Fatalf("cwnd = %v with falling in-band delay, want growth", tm.Cwnd())
+	}
+}
+
+func TestBBRAndTimelySaturateALink(t *testing.T) {
+	// Integration sanity lives in the transport tests; here just check the
+	// windows stay in bounds across a noisy feed.
+	for _, f := range []Factory{ByName("bbr"), ByName("timely")} {
+		alg := f()
+		r := sim.NewRand(9)
+		now := sim.Time(0)
+		for i := 0; i < 20000; i++ {
+			now += sim.Time(200 + r.Intn(2000))
+			alg.OnAck(Ack{
+				Now:   now,
+				RTT:   sim.Time(50+r.Intn(200)) * sim.Microsecond,
+				Delay: sim.Time(r.Intn(300)) * sim.Microsecond,
+				ECE:   r.Intn(10) == 0,
+				Bytes: mss, MSS: mss,
+			})
+			if i%97 == 0 {
+				alg.OnLoss(now)
+			}
+			w := alg.Cwnd()
+			if w <= 0 || w > maxCwnd {
+				t.Fatalf("%s: cwnd out of bounds: %v", alg.Name(), w)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package cc
+
+import "aqueue/internal/sim"
+
+// Illinois implements TCP-Illinois [40]: a loss-based algorithm whose
+// additive-increase factor alpha shrinks and multiplicative-decrease factor
+// beta grows with the average queueing delay, making it aggressive when the
+// path looks empty and gentle near congestion.
+type Illinois struct {
+	cwnd     float64
+	ssthresh float64
+
+	baseRTT sim.Time // minimum observed RTT
+	maxRTT  sim.Time // maximum observed RTT
+	sumRTT  sim.Time
+	cntRTT  int
+	alpha   float64
+	beta    float64
+}
+
+// Illinois constants (from the paper's recommended setting).
+const (
+	ilAlphaMin = 0.3
+	ilAlphaMax = 10.0
+	ilBetaMin  = 0.125
+	ilBetaMax  = 0.5
+)
+
+// NewIllinois returns a TCP-Illinois controller.
+func NewIllinois() *Illinois {
+	return &Illinois{cwnd: initialCwnd, ssthresh: initialThresh, alpha: ilAlphaMax, beta: ilBetaMin}
+}
+
+// Name implements Algorithm.
+func (il *Illinois) Name() string { return "illinois" }
+
+// Cwnd implements Algorithm.
+func (il *Illinois) Cwnd() float64 { return il.cwnd }
+
+// OnAck implements Algorithm.
+func (il *Illinois) OnAck(a Ack) {
+	if a.RTT > 0 {
+		if il.baseRTT == 0 || a.RTT < il.baseRTT {
+			il.baseRTT = a.RTT
+		}
+		if a.RTT > il.maxRTT {
+			il.maxRTT = a.RTT
+		}
+		il.sumRTT += a.RTT
+		il.cntRTT++
+		if il.cntRTT >= int(il.cwnd) && il.cntRTT > 0 {
+			il.updateParams()
+			il.sumRTT, il.cntRTT = 0, 0
+		}
+	}
+	segs := ackSegs(a)
+	if il.cwnd < il.ssthresh {
+		il.cwnd += segs
+	} else {
+		il.cwnd += il.alpha * segs / il.cwnd
+	}
+	il.cwnd = clamp(il.cwnd, minLossCwnd, maxCwnd)
+}
+
+// updateParams recomputes alpha and beta from the average queueing delay,
+// following the piecewise curves of the Illinois paper.
+func (il *Illinois) updateParams() {
+	if il.cntRTT == 0 || il.maxRTT <= il.baseRTT {
+		il.alpha, il.beta = ilAlphaMax, ilBetaMin
+		return
+	}
+	avg := il.sumRTT / sim.Time(il.cntRTT)
+	da := float64(avg - il.baseRTT)       // current average queueing delay
+	dm := float64(il.maxRTT - il.baseRTT) // maximum queueing delay seen
+	d1 := 0.01 * dm                       // low-delay knee
+	if da <= d1 {
+		il.alpha = ilAlphaMax
+	} else {
+		// alpha = k1/(k2+da) calibrated so alpha(d1)=alphaMax, alpha(dm)=alphaMin.
+		k2 := dm*(ilAlphaMin/ilAlphaMax) - d1
+		if k2 <= -d1 {
+			il.alpha = ilAlphaMin
+		} else {
+			k1 := ilAlphaMax * (k2 + d1)
+			il.alpha = clamp(k1/(k2+da), ilAlphaMin, ilAlphaMax)
+		}
+	}
+	// beta grows linearly from betaMin at 0.1*dm to betaMax at 0.8*dm.
+	d2, d3 := 0.1*dm, 0.8*dm
+	switch {
+	case da <= d2:
+		il.beta = ilBetaMin
+	case da >= d3:
+		il.beta = ilBetaMax
+	default:
+		il.beta = ilBetaMin + (ilBetaMax-ilBetaMin)*(da-d2)/(d3-d2)
+	}
+}
+
+// OnLoss implements Algorithm.
+func (il *Illinois) OnLoss(sim.Time) {
+	il.ssthresh = clamp(il.cwnd*(1-il.beta), 2, maxCwnd)
+	il.cwnd = il.ssthresh
+}
+
+// OnTimeout implements Algorithm.
+func (il *Illinois) OnTimeout(sim.Time) {
+	il.ssthresh = clamp(il.cwnd/2, 2, maxCwnd)
+	il.cwnd = minLossCwnd
+	il.alpha, il.beta = ilAlphaMax, ilBetaMin
+}

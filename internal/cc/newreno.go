@@ -1,0 +1,44 @@
+package cc
+
+import "aqueue/internal/sim"
+
+// NewReno is classic TCP NewReno [17]: slow start to ssthresh, additive
+// increase of one segment per RTT in congestion avoidance, halve on loss.
+type NewReno struct {
+	cwnd     float64
+	ssthresh float64
+}
+
+// NewNewReno returns a NewReno controller with the standard initial window.
+func NewNewReno() *NewReno {
+	return &NewReno{cwnd: initialCwnd, ssthresh: initialThresh}
+}
+
+// Name implements Algorithm.
+func (n *NewReno) Name() string { return "newreno" }
+
+// Cwnd implements Algorithm.
+func (n *NewReno) Cwnd() float64 { return n.cwnd }
+
+// OnAck implements Algorithm.
+func (n *NewReno) OnAck(a Ack) {
+	segs := ackSegs(a)
+	if n.cwnd < n.ssthresh {
+		n.cwnd += segs // slow start: +1 per acked segment
+	} else {
+		n.cwnd += segs / n.cwnd // congestion avoidance: +1 per RTT
+	}
+	n.cwnd = clamp(n.cwnd, minLossCwnd, maxCwnd)
+}
+
+// OnLoss implements Algorithm.
+func (n *NewReno) OnLoss(sim.Time) {
+	n.ssthresh = clamp(n.cwnd/2, 2, maxCwnd)
+	n.cwnd = n.ssthresh
+}
+
+// OnTimeout implements Algorithm.
+func (n *NewReno) OnTimeout(sim.Time) {
+	n.ssthresh = clamp(n.cwnd/2, 2, maxCwnd)
+	n.cwnd = minLossCwnd
+}

@@ -1,0 +1,96 @@
+package cc
+
+import "aqueue/internal/sim"
+
+// Timely implements the RTT-gradient algorithm TIMELY [43], the other
+// delay-based algorithm the paper cites: the rate (expressed here as a
+// window) increases additively while the delay gradient is non-positive or
+// the delay sits below a low threshold, and decreases multiplicatively in
+// proportion to the gradient when the delay is rising, with hard
+// overshoot protection above a high threshold.
+type Timely struct {
+	cwnd float64
+
+	prevDelay sim.Time
+	gradient  float64 // EWMA of the normalized delay gradient
+	lastDec   sim.Time
+	lastRTT   sim.Time
+}
+
+// TIMELY parameters (scaled for intra-DC microsecond delays).
+const (
+	timelyTLow   = 30 * sim.Microsecond
+	timelyTHigh  = 150 * sim.Microsecond
+	timelyAlpha  = 0.875 // EWMA weight on the previous gradient
+	timelyBeta   = 0.8
+	timelyAI     = 1.0
+	timelyMinWin = 0.01
+)
+
+// NewTimely returns a TIMELY controller.
+func NewTimely() *Timely {
+	return &Timely{cwnd: initialCwnd}
+}
+
+// Name implements Algorithm.
+func (t *Timely) Name() string { return "timely" }
+
+// Cwnd implements Algorithm.
+func (t *Timely) Cwnd() float64 { return t.cwnd }
+
+// OnAck implements Algorithm.
+func (t *Timely) OnAck(a Ack) {
+	if a.RTT > 0 {
+		t.lastRTT = a.RTT
+	}
+	delay := a.Delay
+	if t.prevDelay > 0 {
+		norm := float64(delay-t.prevDelay) / float64(timelyTLow)
+		t.gradient = timelyAlpha*t.gradient + (1-timelyAlpha)*norm
+	}
+	t.prevDelay = delay
+	segs := ackSegs(a)
+	switch {
+	case delay < timelyTLow:
+		t.cwnd += timelyAI * segs / t.cwnd
+	case delay > timelyTHigh:
+		if t.canDecrease(a.Now) {
+			t.cwnd *= 1 - timelyBeta*(1-float64(timelyTHigh)/float64(delay))
+			t.lastDec = a.Now
+		}
+	case t.gradient <= 0:
+		t.cwnd += timelyAI * segs / t.cwnd
+	default:
+		if t.canDecrease(a.Now) {
+			dec := timelyBeta * t.gradient
+			if dec > 0.5 {
+				dec = 0.5
+			}
+			t.cwnd *= 1 - dec
+			t.lastDec = a.Now
+		}
+	}
+	t.cwnd = clamp(t.cwnd, timelyMinWin, maxCwnd)
+}
+
+func (t *Timely) canDecrease(now sim.Time) bool {
+	rtt := t.lastRTT
+	if rtt <= 0 {
+		rtt = 100 * sim.Microsecond
+	}
+	return now-t.lastDec >= rtt
+}
+
+// OnLoss implements Algorithm.
+func (t *Timely) OnLoss(now sim.Time) {
+	if t.canDecrease(now) {
+		t.cwnd = clamp(t.cwnd*0.5, timelyMinWin, maxCwnd)
+		t.lastDec = now
+	}
+}
+
+// OnTimeout implements Algorithm.
+func (t *Timely) OnTimeout(now sim.Time) {
+	t.cwnd = clamp(t.cwnd*0.5, timelyMinWin, maxCwnd)
+	t.lastDec = now
+}

@@ -1,0 +1,236 @@
+// Package control implements the AQ control plane of §4: the AQ Controller
+// that receives tenant requests, grants them against link capacity (in
+// absolute mode) or network weights (in weighted mode), generates unique AQ
+// IDs, and deploys AQ configurations into switch pipeline tables. It also
+// provides the switch resource model used to reproduce Figures 11 and 12,
+// and a TCP wire protocol so the controller can run as a daemon (cmd/aqctl).
+package control
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aqueue/internal/core"
+	"aqueue/internal/packet"
+	"aqueue/internal/units"
+)
+
+// Position selects the switch pipeline an AQ is deployed at (§4.1): the
+// ingress pipeline controls traffic a VM sends (outbound); the egress
+// pipeline controls traffic it receives (inbound).
+type Position uint8
+
+const (
+	// Ingress deploys at the ingress pipeline.
+	Ingress Position = iota
+	// Egress deploys at the egress pipeline.
+	Egress
+)
+
+// String implements fmt.Stringer.
+func (p Position) String() string {
+	if p == Egress {
+		return "egress"
+	}
+	return "ingress"
+}
+
+// Mode selects how bandwidth is allocated (§4.1).
+type Mode uint8
+
+const (
+	// Absolute requests a hard bandwidth guarantee; the controller admits
+	// it only if the link has spare capacity.
+	Absolute Mode = iota
+	// Weighted requests a proportional share: active weighted AQs divide
+	// the remaining capacity by weight.
+	Weighted
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Weighted {
+		return "weighted"
+	}
+	return "absolute"
+}
+
+// Request is a tenant's AQ request (Table 1: bandwidth demand, CC fields,
+// position profile).
+type Request struct {
+	Tenant    string
+	Mode      Mode
+	Bandwidth units.BitRate // absolute mode
+	Weight    float64       // weighted mode
+	CC        core.CCType
+	// ECNThreshold and Limit override the AQ defaults when non-zero.
+	ECNThreshold int
+	Limit        int
+	Position     Position
+}
+
+// Grant is the controller's answer: the unique AQ ID the tenant must tag
+// into its packet headers, and the rate the AQ was deployed with.
+type Grant struct {
+	ID   packet.AQID
+	Rate units.BitRate
+}
+
+// ErrInsufficientBandwidth rejects absolute requests beyond link capacity.
+var ErrInsufficientBandwidth = errors.New("control: insufficient bandwidth for absolute guarantee")
+
+// ErrBadRequest rejects malformed requests.
+var ErrBadRequest = errors.New("control: bad request")
+
+// Controller manages the AQs of one bottleneck link: admission, ID
+// generation, deployment, and weighted-mode rebalancing when the set of
+// active entities changes.
+type Controller struct {
+	mu       sync.Mutex
+	capacity units.BitRate
+	nextID   packet.AQID
+	grants   map[packet.AQID]*grantState
+}
+
+type grantState struct {
+	req    Request
+	table  *core.Table
+	aq     *core.AQ
+	rate   units.BitRate
+	active bool
+}
+
+// NewController returns a controller for a link of the given capacity.
+func NewController(capacity units.BitRate) *Controller {
+	return &Controller{capacity: capacity, nextID: 1, grants: make(map[packet.AQID]*grantState)}
+}
+
+// Capacity returns the managed link capacity.
+func (c *Controller) Capacity() units.BitRate { return c.capacity }
+
+// Grant admits the request and deploys the AQ into tbl (the pipeline table
+// matching the request's position profile on the target switch). Weighted
+// grants start active and trigger a rebalance.
+func (c *Controller) Grant(req Request, tbl *core.Table) (Grant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tbl == nil {
+		return Grant{}, fmt.Errorf("%w: nil table", ErrBadRequest)
+	}
+	switch req.Mode {
+	case Absolute:
+		if req.Bandwidth <= 0 {
+			return Grant{}, fmt.Errorf("%w: absolute request needs a bandwidth", ErrBadRequest)
+		}
+		if c.absoluteReservedLocked(tbl)+req.Bandwidth > c.capacity {
+			return Grant{}, ErrInsufficientBandwidth
+		}
+	case Weighted:
+		if req.Weight <= 0 {
+			return Grant{}, fmt.Errorf("%w: weighted request needs a weight", ErrBadRequest)
+		}
+	default:
+		return Grant{}, fmt.Errorf("%w: unknown mode %d", ErrBadRequest, req.Mode)
+	}
+	id := c.nextID
+	c.nextID++
+	gs := &grantState{req: req, table: tbl, active: true}
+	c.grants[id] = gs
+	gs.aq = tbl.Deploy(core.Config{
+		ID:           id,
+		Rate:         req.Bandwidth, // weighted rate fixed by rebalance below
+		Limit:        req.Limit,
+		CC:           req.CC,
+		ECNThreshold: req.ECNThreshold,
+	})
+	gs.rate = req.Bandwidth
+	if req.Mode == Weighted {
+		c.rebalanceLocked(tbl)
+	}
+	return Grant{ID: id, Rate: gs.rate}, nil
+}
+
+// Release undeploys a granted AQ and rebalances its table.
+func (c *Controller) Release(id packet.AQID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gs, ok := c.grants[id]
+	if !ok {
+		return
+	}
+	delete(c.grants, id)
+	gs.table.Remove(id)
+	c.rebalanceLocked(gs.table)
+}
+
+// SetActive marks a weighted entity active or idle. The §5.2 experiments
+// (Fig. 9) rely on this: when an entity stops sending, the operator marks
+// it idle and the remaining active entities absorb its share.
+func (c *Controller) SetActive(id packet.AQID, active bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gs, ok := c.grants[id]
+	if !ok || gs.active == active {
+		return
+	}
+	gs.active = active
+	c.rebalanceLocked(gs.table)
+}
+
+// Rate reports the currently deployed rate of a grant.
+func (c *Controller) Rate(id packet.AQID) units.BitRate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gs, ok := c.grants[id]; ok {
+		return gs.rate
+	}
+	return 0
+}
+
+// Grants returns the granted IDs in ascending order.
+func (c *Controller) Grants() []packet.AQID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]packet.AQID, 0, len(c.grants))
+	for id := range c.grants {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// absoluteReservedLocked sums the absolute reservations on a table.
+func (c *Controller) absoluteReservedLocked(tbl *core.Table) units.BitRate {
+	var sum units.BitRate
+	for _, gs := range c.grants {
+		if gs.table == tbl && gs.req.Mode == Absolute {
+			sum += gs.req.Bandwidth
+		}
+	}
+	return sum
+}
+
+// rebalanceLocked recomputes weighted rates on one table: active weighted
+// AQs split the capacity left over by absolute reservations, by weight.
+func (c *Controller) rebalanceLocked(tbl *core.Table) {
+	avail := c.capacity - c.absoluteReservedLocked(tbl)
+	var total float64
+	for _, gs := range c.grants {
+		if gs.table == tbl && gs.req.Mode == Weighted && gs.active {
+			total += gs.req.Weight
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	for _, gs := range c.grants {
+		if gs.table != tbl || gs.req.Mode != Weighted || !gs.active {
+			continue
+		}
+		rate := units.BitRate(float64(avail) * gs.req.Weight / total)
+		gs.rate = rate
+		gs.aq.SetRate(rate)
+	}
+}

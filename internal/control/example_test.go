@@ -1,0 +1,38 @@
+package control_test
+
+import (
+	"fmt"
+
+	"aqueue/internal/control"
+	"aqueue/internal/core"
+	"aqueue/internal/units"
+)
+
+// ExampleController shows the §4.1 flow: tenants request bandwidth, the
+// controller admits against link capacity (absolute mode) or shares by
+// weight (weighted mode, rebalanced as the active set changes), and
+// deploys AQ configurations into a switch pipeline table.
+func ExampleController() {
+	ctrl := control.NewController(10 * units.Gbps)
+	ingress := core.NewTable()
+
+	// An absolute 4 Gbps reservation.
+	res, _ := ctrl.Grant(control.Request{
+		Tenant: "latency-svc", Mode: control.Absolute,
+		Bandwidth: 4 * units.Gbps, CC: core.DelayType,
+	}, ingress)
+	fmt.Println("reserved:", res.Rate)
+
+	// Two weighted tenants share what is left.
+	a, _ := ctrl.Grant(control.Request{Tenant: "a", Mode: control.Weighted, Weight: 1}, ingress)
+	b, _ := ctrl.Grant(control.Request{Tenant: "b", Mode: control.Weighted, Weight: 2}, ingress)
+	fmt.Println("a:", ctrl.Rate(a.ID), " b:", ctrl.Rate(b.ID))
+
+	// Tenant b goes idle; a absorbs its share.
+	ctrl.SetActive(b.ID, false)
+	fmt.Println("a after b idles:", ctrl.Rate(a.ID))
+	// Output:
+	// reserved: 4Gbps
+	// a: 2Gbps  b: 4Gbps
+	// a after b idles: 6Gbps
+}

@@ -1,0 +1,72 @@
+package control
+
+import "aqueue/internal/core"
+
+// ResourceModel accounts for the switch data-plane resources the AQ
+// program consumes on a Tofino-class pipeline. The percentages are the
+// paper's measured usage on its testbed (Figure 11); the memory curve is
+// exact arithmetic over the 15-byte-per-AQ register layout of Table 1 /
+// Figure 12 (4 B AQ ID, 3 B rate, 3 B limit, 3 B gap, 2 B last_time).
+//
+// The paper compiled its P4 program with the Tofino toolchain; since that
+// toolchain is unavailable here, the static usage numbers are encoded
+// constants (a documented substitution in DESIGN.md) while everything
+// derived from the per-AQ layout is computed.
+type ResourceModel struct {
+	// TotalSRAMBytes is the switch's register SRAM budget. Tofino-class
+	// chips ship tens of MB; the default matches the paper's "tens of MB"
+	// discussion.
+	TotalSRAMBytes int
+}
+
+// Fig. 11 resource usage percentages as reported by the paper.
+const (
+	PipelineStagesPct = 16.8
+	MAUsPct           = 12.5
+	PHVSizePct        = 7.5
+	SRAMBasePct       = 4.2 // fixed program overhead, excluding AQ entries
+)
+
+// DefaultSRAMBytes is the default register budget (20 MB).
+const DefaultSRAMBytes = 20 * 1000 * 1000
+
+// NewResourceModel returns the model with the default SRAM budget.
+func NewResourceModel() *ResourceModel {
+	return &ResourceModel{TotalSRAMBytes: DefaultSRAMBytes}
+}
+
+// Usage is one data-plane resource dimension with its utilization.
+type Usage struct {
+	Resource string
+	Percent  float64
+}
+
+// StaticUsage returns the fixed per-program resource usage of Figure 11.
+func (m *ResourceModel) StaticUsage() []Usage {
+	return []Usage{
+		{"pipeline stages", PipelineStagesPct},
+		{"match-action units", MAUsPct},
+		{"PHV size", PHVSizePct},
+		{"SRAM (program)", SRAMBasePct},
+	}
+}
+
+// MemoryBytes returns the switch memory consumed by n deployed AQs
+// (Figure 12: 15 bytes per AQ).
+func (m *ResourceModel) MemoryBytes(n int) int { return n * core.BytesPerAQ }
+
+// MaxAQs returns how many AQs fit in the SRAM budget.
+func (m *ResourceModel) MaxAQs() int {
+	if m.TotalSRAMBytes <= 0 {
+		return 0
+	}
+	return m.TotalSRAMBytes / core.BytesPerAQ
+}
+
+// SRAMPct returns the fraction of the SRAM budget n AQs consume, in percent.
+func (m *ResourceModel) SRAMPct(n int) float64 {
+	if m.TotalSRAMBytes <= 0 {
+		return 0
+	}
+	return float64(m.MemoryBytes(n)) / float64(m.TotalSRAMBytes) * 100
+}

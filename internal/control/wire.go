@@ -1,0 +1,250 @@
+package control
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"aqueue/internal/core"
+	"aqueue/internal/packet"
+	"aqueue/internal/units"
+)
+
+// This file implements the controller's wire protocol: newline-delimited
+// JSON over TCP. Tenants (cmd/aqctl's client mode, or the hypervisor agent
+// of §4.1) send requests; the controller answers with grants. The protocol
+// is deliberately small — grant, release, set_active, list — because that
+// is the entire §4.1 interaction surface.
+
+// WireRequest is one client message.
+type WireRequest struct {
+	Op        string  `json:"op"` // grant | release | set_active | list
+	Tenant    string  `json:"tenant,omitempty"`
+	Mode      string  `json:"mode,omitempty"` // absolute | weighted
+	Bandwidth float64 `json:"bandwidth_bps,omitempty"`
+	Weight    float64 `json:"weight,omitempty"`
+	CC        string  `json:"cc,omitempty"` // drop | ecn | delay
+	Position  string  `json:"position,omitempty"`
+	Switch    string  `json:"switch,omitempty"`
+	ID        uint32  `json:"id,omitempty"`
+	Active    *bool   `json:"active,omitempty"`
+}
+
+// WireResponse is the controller's answer.
+type WireResponse struct {
+	OK    bool     `json:"ok"`
+	Error string   `json:"error,omitempty"`
+	ID    uint32   `json:"id,omitempty"`
+	Rate  float64  `json:"rate_bps,omitempty"`
+	IDs   []uint32 `json:"ids,omitempty"`
+}
+
+// Server exposes a Controller over TCP. Pipeline tables are registered
+// under "switch/position" names; grants address them by those names.
+type Server struct {
+	ctrl *Controller
+
+	mu     sync.Mutex
+	tables map[string]*core.Table
+	ln     net.Listener
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a controller.
+func NewServer(ctrl *Controller) *Server {
+	return &Server{ctrl: ctrl, tables: make(map[string]*core.Table)}
+}
+
+// RegisterTable exposes a pipeline table under the given switch name and
+// position, creating the table if nil is passed.
+func (s *Server) RegisterTable(sw string, pos Position, tbl *core.Table) *core.Table {
+	if tbl == nil {
+		tbl = core.NewTable()
+	}
+	s.mu.Lock()
+	s.tables[tableKey(sw, pos)] = tbl
+	s.mu.Unlock()
+	return tbl
+}
+
+func tableKey(sw string, pos Position) string { return sw + "/" + pos.String() }
+
+// Serve accepts connections on ln until the listener closes. It blocks;
+// run it in a goroutine and call Close to stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener; in-flight connections finish their current
+// request.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req WireRequest
+		var resp WireResponse
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = WireResponse{Error: "malformed request: " + err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req WireRequest) WireResponse {
+	switch req.Op {
+	case "grant":
+		r, err := parseRequest(req)
+		if err != nil {
+			return WireResponse{Error: err.Error()}
+		}
+		s.mu.Lock()
+		tbl := s.tables[tableKey(req.Switch, r.Position)]
+		s.mu.Unlock()
+		if tbl == nil {
+			return WireResponse{Error: fmt.Sprintf("unknown switch/position %q/%s", req.Switch, r.Position)}
+		}
+		g, err := s.ctrl.Grant(r, tbl)
+		if err != nil {
+			return WireResponse{Error: err.Error()}
+		}
+		return WireResponse{OK: true, ID: uint32(g.ID), Rate: float64(g.Rate)}
+	case "release":
+		s.ctrl.Release(packet.AQID(req.ID))
+		return WireResponse{OK: true}
+	case "set_active":
+		if req.Active == nil {
+			return WireResponse{Error: "set_active needs \"active\""}
+		}
+		s.ctrl.SetActive(packet.AQID(req.ID), *req.Active)
+		return WireResponse{OK: true, ID: req.ID, Rate: float64(s.ctrl.Rate(packet.AQID(req.ID)))}
+	case "list":
+		ids := s.ctrl.Grants()
+		out := make([]uint32, len(ids))
+		for i, id := range ids {
+			out[i] = uint32(id)
+		}
+		return WireResponse{OK: true, IDs: out}
+	default:
+		return WireResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// parseRequest converts the wire form into a Request.
+func parseRequest(w WireRequest) (Request, error) {
+	r := Request{
+		Tenant:    w.Tenant,
+		Bandwidth: units.BitRate(w.Bandwidth),
+		Weight:    w.Weight,
+	}
+	switch strings.ToLower(w.Mode) {
+	case "absolute", "":
+		r.Mode = Absolute
+	case "weighted":
+		r.Mode = Weighted
+	default:
+		return r, fmt.Errorf("unknown mode %q", w.Mode)
+	}
+	switch strings.ToLower(w.CC) {
+	case "drop", "":
+		r.CC = core.DropType
+	case "ecn":
+		r.CC = core.ECNType
+	case "delay":
+		r.CC = core.DelayType
+	default:
+		return r, fmt.Errorf("unknown cc %q", w.CC)
+	}
+	switch strings.ToLower(w.Position) {
+	case "ingress", "":
+		r.Position = Ingress
+	case "egress":
+		r.Position = Egress
+	default:
+		return r, fmt.Errorf("unknown position %q", w.Position)
+	}
+	return r, nil
+}
+
+// Client talks the wire protocol.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Dial connects to a controller daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (useful with net.Pipe in tests).
+func NewClient(conn net.Conn) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do performs one round trip.
+func (c *Client) Do(req WireRequest) (WireResponse, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return WireResponse{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return WireResponse{}, err
+		}
+		return WireResponse{}, fmt.Errorf("control: connection closed")
+	}
+	var resp WireResponse
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return WireResponse{}, err
+	}
+	if !resp.OK && resp.Error != "" {
+		return resp, fmt.Errorf("control: %s", resp.Error)
+	}
+	return resp, nil
+}

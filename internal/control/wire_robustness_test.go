@@ -1,0 +1,156 @@
+package control
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+
+	"aqueue/internal/units"
+)
+
+// dialTestServer spins up a server with one registered switch and returns
+// a raw connection plus cleanup.
+func dialTestServer(t *testing.T) (net.Conn, func()) {
+	t.Helper()
+	ctrl := NewController(10 * units.Gbps)
+	srv := NewServer(ctrl)
+	srv.RegisterTable("S1", Ingress, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, func() { conn.Close(); srv.Close() }
+}
+
+func roundTrip(t *testing.T, conn net.Conn, line string) WireResponse {
+	t.Helper()
+	if _, err := conn.Write([]byte(line + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatalf("no response to %q (err %v)", line, sc.Err())
+	}
+	var resp WireResponse
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response %q: %v", sc.Text(), err)
+	}
+	return resp
+}
+
+func TestWireMalformedJSONKeepsConnectionAlive(t *testing.T) {
+	conn, done := dialTestServer(t)
+	defer done()
+	resp := roundTrip(t, conn, "{this is not json")
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("malformed line accepted: %+v", resp)
+	}
+	// The connection must survive for a valid follow-up.
+	resp = roundTrip(t, conn, `{"op":"grant","mode":"absolute","bandwidth_bps":1e9,"switch":"S1"}`)
+	if !resp.OK || resp.ID == 0 {
+		t.Fatalf("valid grant after junk failed: %+v", resp)
+	}
+}
+
+func TestWireUnknownFieldsIgnored(t *testing.T) {
+	conn, done := dialTestServer(t)
+	defer done()
+	resp := roundTrip(t, conn,
+		`{"op":"grant","mode":"weighted","weight":2,"switch":"S1","future_field":123}`)
+	if !resp.OK {
+		t.Fatalf("forward-compatible request rejected: %+v", resp)
+	}
+}
+
+func TestWireRejections(t *testing.T) {
+	conn, done := dialTestServer(t)
+	defer done()
+	cases := []string{
+		`{"op":"grant","mode":"sideways","switch":"S1"}`,
+		`{"op":"grant","mode":"absolute","bandwidth_bps":1e9,"cc":"quantum","switch":"S1"}`,
+		`{"op":"grant","mode":"absolute","bandwidth_bps":1e9,"position":"middle","switch":"S1"}`,
+		`{"op":"grant","mode":"absolute","bandwidth_bps":1e9,"switch":"S9"}`,
+		`{"op":"grant","mode":"absolute","switch":"S1"}`, // zero bandwidth
+		`{"op":"set_active","id":1}`,                     // missing active
+		`{"op":"transmogrify"}`,
+	}
+	for _, c := range cases {
+		resp := roundTrip(t, conn, c)
+		if resp.OK || resp.Error == "" {
+			t.Fatalf("request %q accepted: %+v", c, resp)
+		}
+	}
+}
+
+func TestWireEmptyLinesSkipped(t *testing.T) {
+	conn, done := dialTestServer(t)
+	defer done()
+	if _, err := conn.Write([]byte("\n\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp := roundTrip(t, conn, `{"op":"list"}`)
+	if !resp.OK {
+		t.Fatalf("list after blank lines failed: %+v", resp)
+	}
+}
+
+func TestWireConcurrentClients(t *testing.T) {
+	ctrl := NewController(100 * units.Gbps)
+	srv := NewServer(ctrl)
+	srv.RegisterTable("S1", Ingress, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			cli, err := Dial(ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 20; j++ {
+				if _, err := cli.Do(WireRequest{Op: "grant", Mode: "absolute",
+					Bandwidth: 1e8, Switch: "S1"}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(ctrl.Grants()); got != clients*20 {
+		t.Fatalf("granted %d, want %d", got, clients*20)
+	}
+}
+
+func TestWireOversizedLine(t *testing.T) {
+	conn, done := dialTestServer(t)
+	defer done()
+	// A huge (but under the scanner cap) request with a long tenant name
+	// still parses.
+	long := strings.Repeat("x", 100_000)
+	resp := roundTrip(t, conn,
+		`{"op":"grant","mode":"absolute","bandwidth_bps":1e9,"switch":"S1","tenant":"`+long+`"}`)
+	if !resp.OK {
+		t.Fatalf("large request rejected: %+v", resp)
+	}
+}

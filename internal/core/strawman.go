@@ -1,0 +1,50 @@
+package core
+
+import (
+	"aqueue/internal/sim"
+	"aqueue/internal/units"
+)
+
+// Strawman implements the D(t) discrepancy function of §3.2 (Expressions
+// 4–5): the unclamped integrated difference between arrival rate and
+// allocated rate during backlogged periods, decayed (but clamped at zero)
+// during empty periods.
+//
+// Unlike the A-Gap, D(t) can go negative during backlogged periods — the
+// "surplus" — which lets a CC that overly reduced its rate later overshoot
+// the allocation (Figure 3a). The type exists to reproduce Figure 3 and for
+// the ablation benchmarks; AQ proper never uses it.
+type Strawman struct {
+	rate     float64 // bytes per nanosecond
+	d        float64 // D(t) in bytes
+	lastTime sim.Time
+}
+
+// NewStrawman returns a D(t) tracker for allocated rate r.
+func NewStrawman(r units.BitRate) *Strawman {
+	return &Strawman{rate: r.BytesPerNano()}
+}
+
+// D returns the current discrepancy in bytes (may be negative).
+func (s *Strawman) D() float64 { return s.d }
+
+// Arrive accounts a packet of the given size arriving at time now during a
+// backlogged period: D accumulates the integrated difference with no
+// clamping (Expression 4).
+func (s *Strawman) Arrive(now sim.Time, size int) float64 {
+	s.d -= float64(now-s.lastTime) * s.rate
+	s.d += float64(size)
+	s.lastTime = now
+	return s.d
+}
+
+// Idle advances time to now across an empty period: D decays at rate R but
+// is clamped at zero (Expression 5).
+func (s *Strawman) Idle(now sim.Time) float64 {
+	s.d -= float64(now-s.lastTime) * s.rate
+	if s.d < 0 {
+		s.d = 0
+	}
+	s.lastTime = now
+	return s.d
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+)
+
+// Table is the per-pipeline AQ lookup table of a switch (§4.2): a map from
+// the AQ ID carried in the packet header to the deployed AQ state. A switch
+// has one table for its ingress pipeline and one for its egress pipeline.
+//
+// The table also implements the §6 work-conservation extension: when a
+// Bypass predicate is installed and reports true (e.g. "the physical queue
+// of the output port is empty"), AQ processing is skipped so entities may
+// exceed their allocations while the network is idle.
+type Table struct {
+	aqs map[packet.AQID]*AQ
+
+	// Bypass, when non-nil, is consulted per packet; a true return skips
+	// AQ processing entirely (work-conserving mode, §6).
+	Bypass func(p *packet.Packet) bool
+
+	// Counters.
+	Lookups  uint64
+	Misses   uint64
+	Bypassed uint64
+}
+
+// NewTable returns an empty AQ table.
+func NewTable() *Table {
+	return &Table{aqs: make(map[packet.AQID]*AQ)}
+}
+
+// Deploy installs (or replaces) an AQ built from cfg and returns it.
+func (t *Table) Deploy(cfg Config) *AQ {
+	aq := New(cfg)
+	t.aqs[cfg.ID] = aq
+	return aq
+}
+
+// Remove undeploys the AQ with the given ID.
+func (t *Table) Remove(id packet.AQID) { delete(t.aqs, id) }
+
+// Lookup returns the AQ deployed under id, or nil.
+func (t *Table) Lookup(id packet.AQID) *AQ { return t.aqs[id] }
+
+// Len returns the number of deployed AQs.
+func (t *Table) Len() int { return len(t.aqs) }
+
+// IDs returns the deployed AQ IDs in ascending order (for reports/tests).
+func (t *Table) IDs() []packet.AQID {
+	ids := make([]packet.AQID, 0, len(t.aqs))
+	for id := range t.aqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Process matches the packet's tag for this pipeline position and, when an
+// AQ is deployed under it, runs the per-packet framework. It returns Drop
+// only when a matched AQ drops the packet; unmatched or untagged packets
+// pass through, as do all packets while the bypass predicate holds.
+func (t *Table) Process(now sim.Time, id packet.AQID, p *packet.Packet) Verdict {
+	if id == packet.NoAQ {
+		return Pass
+	}
+	if t.Bypass != nil && t.Bypass(p) {
+		t.Bypassed++
+		return Pass
+	}
+	t.Lookups++
+	aq := t.aqs[id]
+	if aq == nil {
+		t.Misses++
+		return Pass
+	}
+	return aq.Process(now, p)
+}
+
+// MemoryBytes models the SRAM footprint of the deployed AQs using the
+// paper's layout (§5.5, Figure 12): 4 B AQ ID, 3 B rate, 3 B limit, 3 B gap
+// and 2 B last_time = 15 B per AQ.
+func (t *Table) MemoryBytes() int { return len(t.aqs) * BytesPerAQ }
+
+// BytesPerAQ is the paper's per-AQ switch memory cost (Figure 12).
+const BytesPerAQ = 15
+
+// String summarises the table.
+func (t *Table) String() string {
+	return fmt.Sprintf("aq.Table{%d AQs, %d lookups, %d misses}", len(t.aqs), t.Lookups, t.Misses)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/units"
+)
+
+func TestTableDeployLookupRemove(t *testing.T) {
+	tbl := NewTable()
+	aq := tbl.Deploy(Config{ID: 7, Rate: units.Gbps})
+	if tbl.Lookup(7) != aq {
+		t.Fatal("lookup after deploy failed")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	tbl.Remove(7)
+	if tbl.Lookup(7) != nil {
+		t.Fatal("lookup after remove succeeded")
+	}
+}
+
+func TestTableProcessUntaggedPasses(t *testing.T) {
+	tbl := NewTable()
+	tbl.Deploy(Config{ID: 7, Rate: units.Gbps, Limit: 1})
+	p := packet.NewData(1, 2, 1, 0, 960)
+	if tbl.Process(0, packet.NoAQ, p) != Pass {
+		t.Fatal("untagged packet did not pass")
+	}
+	if tbl.Lookups != 0 {
+		t.Fatal("untagged packet hit the table")
+	}
+}
+
+func TestTableProcessMissPasses(t *testing.T) {
+	tbl := NewTable()
+	p := packet.NewData(1, 2, 1, 0, 960)
+	if tbl.Process(0, 42, p) != Pass {
+		t.Fatal("miss should pass")
+	}
+	if tbl.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", tbl.Misses)
+	}
+}
+
+func TestTableProcessMatchDrops(t *testing.T) {
+	tbl := NewTable()
+	tbl.Deploy(Config{ID: 9, Rate: units.Kbps, Limit: 100})
+	p := packet.NewData(1, 2, 1, 0, 960)
+	if tbl.Process(0, 9, p) != Drop {
+		t.Fatal("over-limit packet not dropped by matched AQ")
+	}
+}
+
+func TestTableBypass(t *testing.T) {
+	tbl := NewTable()
+	tbl.Deploy(Config{ID: 9, Rate: units.Kbps, Limit: 100})
+	bypass := true
+	tbl.Bypass = func(*packet.Packet) bool { return bypass }
+	p := packet.NewData(1, 2, 1, 0, 960)
+	if tbl.Process(0, 9, p) != Pass {
+		t.Fatal("bypass did not skip AQ processing")
+	}
+	if tbl.Bypassed != 1 {
+		t.Fatalf("Bypassed = %d, want 1", tbl.Bypassed)
+	}
+	bypass = false
+	if tbl.Process(0, 9, p) != Drop {
+		t.Fatal("AQ not enforced once bypass lifted")
+	}
+}
+
+func TestTableIDsSorted(t *testing.T) {
+	tbl := NewTable()
+	for _, id := range []packet.AQID{5, 1, 9, 3} {
+		tbl.Deploy(Config{ID: id, Rate: units.Gbps})
+	}
+	ids := tbl.IDs()
+	want := []packet.AQID{1, 3, 5, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestTableMemoryModel(t *testing.T) {
+	tbl := NewTable()
+	for i := 1; i <= 100; i++ {
+		tbl.Deploy(Config{ID: packet.AQID(i), Rate: units.Gbps})
+	}
+	if tbl.MemoryBytes() != 100*BytesPerAQ {
+		t.Fatalf("MemoryBytes = %d, want %d", tbl.MemoryBytes(), 100*BytesPerAQ)
+	}
+}
+
+func TestStrawmanAllowsSurplusAGapDoesNot(t *testing.T) {
+	// Reproduce the essence of Figure 3: a source that underuses its
+	// allocation builds negative D(t) (surplus) with the strawman, but the
+	// A-Gap clamps at ~0, so a later burst is penalized immediately by the
+	// A-Gap while the strawman absorbs it.
+	rate := units.Gbps // 0.125 B/ns
+	s := NewStrawman(rate)
+	aq := New(Config{ID: 1, Rate: rate, Limit: 1 << 30})
+	// Send at half the allocated rate for a while: one 1000 B packet every
+	// 16000 ns (allocation drains 2000 B per interval).
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += 16000
+		s.Arrive(now, 1000)
+		aq.Update(now, 1000)
+	}
+	if s.D() >= 0 {
+		t.Fatalf("strawman D = %v, want negative (surplus)", s.D())
+	}
+	if aq.Gap() > 1000 {
+		t.Fatalf("A-Gap = %v, want clamped near zero", aq.Gap())
+	}
+	// Burst: 50 packets back to back.
+	for i := 0; i < 50; i++ {
+		now++
+		s.Arrive(now, 1000)
+		aq.Update(now, 1000)
+	}
+	if s.D() >= aq.Gap() {
+		t.Fatalf("strawman D (%v) should lag A-Gap (%v) after the burst due to surplus",
+			s.D(), aq.Gap())
+	}
+}
+
+func TestStrawmanIdleClampsAtZero(t *testing.T) {
+	s := NewStrawman(units.Gbps)
+	s.Arrive(0, 10000)
+	if s.Idle(1<<30) != 0 {
+		t.Fatal("idle decay did not clamp at zero")
+	}
+}

@@ -1,0 +1,49 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewData(t *testing.T) {
+	p := NewData(1, 2, 7, 3000, 1000)
+	if p.Kind != Data {
+		t.Fatal("kind")
+	}
+	if p.Size != 1000+HeaderBytes {
+		t.Fatalf("size = %d", p.Size)
+	}
+	if p.Seq != 3000 || p.Payload != 1000 {
+		t.Fatalf("seq/payload = %d/%d", p.Seq, p.Payload)
+	}
+	if p.Src != 1 || p.Dst != 2 || p.Flow != 7 {
+		t.Fatal("addressing")
+	}
+	if p.IngressAQ != NoAQ || p.EgressAQ != NoAQ {
+		t.Fatal("fresh packets must carry the default AQ tags")
+	}
+}
+
+func TestNewAck(t *testing.T) {
+	p := NewAck(2, 1, 7, 5000)
+	if p.Kind != Ack {
+		t.Fatal("kind")
+	}
+	if p.Size != HeaderBytes {
+		t.Fatalf("ACK size = %d", p.Size)
+	}
+	if p.Ack != 5000 {
+		t.Fatalf("ack = %d", p.Ack)
+	}
+}
+
+func TestString(t *testing.T) {
+	d := NewData(1, 2, 7, 0, 1000)
+	if !strings.Contains(d.String(), "DATA") {
+		t.Fatalf("String() = %q", d.String())
+	}
+	a := NewAck(2, 1, 7, 5000)
+	if !strings.Contains(a.String(), "ACK") || !strings.Contains(a.String(), "5000") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}

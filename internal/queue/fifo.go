@@ -1,0 +1,174 @@
+// Package queue implements the physical FIFO queue of a switch port: a
+// byte-limited tail-drop buffer with an optional ECN marking threshold.
+//
+// This is the "physical queue" (PQ) of the paper's §2 — the baseline whose
+// limitations AQ addresses. Packets are marked with CE at enqueue time when
+// the instantaneous queue length exceeds the ECN threshold, which is the
+// DCTCP-style marking the paper assumes.
+package queue
+
+import (
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+)
+
+// FIFO is a byte-limited tail-drop FIFO with optional ECN marking.
+// The zero value is not usable; use New.
+type FIFO struct {
+	limit   int // bytes; <=0 means unlimited
+	ecnKB   int // ECN marking threshold in bytes; <=0 disables marking
+	bytes   int
+	packets ring
+
+	// AQMDropNonECT selects NS3/RED-style AQM semantics: above the ECN
+	// threshold, ECN-capable packets are marked while everything else is
+	// dropped with a probability that ramps linearly from 0 at the
+	// threshold to 1 at twice the threshold. The probabilistic ramp
+	// desynchronizes competing loss-based flows, exactly as RED does. The
+	// paper's simulation platform behaves this way (which is why DCTCP
+	// dominates loss-based CC in a shared queue there), while its Tofino
+	// testbed is a plain tail-drop queue with marking (which is why
+	// loss-based CC builds deep queues in Table 4).
+	AQMDropNonECT bool
+	rng           *sim.Rand
+
+	// Stats counters.
+	Enqueued uint64
+	Dropped  uint64
+	Marked   uint64
+	MaxBytes int
+	DropHook func(*packet.Packet) // optional, observes drops
+}
+
+// queueSeq seeds each queue's AQM random stream distinctly while keeping
+// runs deterministic.
+var queueSeq uint64
+
+// New returns a FIFO with the given byte limit and ECN threshold (both in
+// bytes). limit <= 0 means unlimited; ecnThreshold <= 0 disables marking.
+func New(limit, ecnThreshold int) *FIFO {
+	queueSeq++
+	return &FIFO{limit: limit, ecnKB: ecnThreshold, rng: sim.NewRand(0xA11CE + queueSeq*0x5bd1e995)}
+}
+
+// Limit returns the configured byte limit (<=0 when unlimited).
+func (q *FIFO) Limit() int { return q.limit }
+
+// ECNThreshold returns the marking threshold in bytes (<=0 when disabled).
+func (q *FIFO) ECNThreshold() int { return q.ecnKB }
+
+// Len returns the number of queued packets.
+func (q *FIFO) Len() int { return q.packets.len() }
+
+// Bytes returns the queued bytes.
+func (q *FIFO) Bytes() int { return q.bytes }
+
+// Push enqueues p at time now. It returns false — and does not take
+// ownership of p — when the byte limit would be exceeded (tail drop).
+// When the post-enqueue occupancy exceeds the ECN threshold and the packet
+// is ECN-capable, the CE codepoint is set.
+func (q *FIFO) Push(now sim.Time, p *packet.Packet) bool {
+	if q.limit > 0 && q.bytes+p.Size > q.limit {
+		q.Dropped++
+		if q.DropHook != nil {
+			q.DropHook(p)
+		}
+		return false
+	}
+	if q.AQMDropNonECT && q.ecnKB > 0 && !p.EcnCapable && q.bytes+p.Size > q.ecnKB {
+		// RED-style probabilistic drop for non-ECN-capable traffic: the
+		// probability ramps from 0 at the threshold to 1 at twice the
+		// threshold. ECN-capable traffic is marked on the same ramp below.
+		prob := float64(q.bytes+p.Size-q.ecnKB) / float64(q.ecnKB)
+		if prob >= 1 || q.rng.Float64() < prob {
+			q.Dropped++
+			if q.DropHook != nil {
+				q.DropHook(p)
+			}
+			return false
+		}
+	}
+	p.EnqueuedAt = now
+	q.bytes += p.Size
+	q.packets.push(p)
+	q.Enqueued++
+	if q.bytes > q.MaxBytes {
+		q.MaxBytes = q.bytes
+	}
+	if q.ecnKB > 0 && q.bytes > q.ecnKB && p.EcnCapable {
+		if q.AQMDropNonECT {
+			// RED/ECN mode: mark on the same probability ramp the
+			// non-ECT traffic is dropped on, so a mark and a drop signal
+			// the same congestion level (a mark just costs far less —
+			// the asymmetry that lets DCTCP dominate loss-based CC in a
+			// shared queue, §2.2).
+			prob := float64(q.bytes-q.ecnKB) / float64(q.ecnKB)
+			if prob < 1 && q.rng.Float64() >= prob {
+				return true
+			}
+		}
+		p.CE = true
+		q.Marked++
+	}
+	return true
+}
+
+// Pop dequeues the head packet, or returns nil when empty.
+func (q *FIFO) Pop() *packet.Packet {
+	p := q.packets.pop()
+	if p != nil {
+		q.bytes -= p.Size
+	}
+	return p
+}
+
+// Peek returns the head packet without removing it.
+func (q *FIFO) Peek() *packet.Packet { return q.packets.peek() }
+
+// ring is a growable circular buffer of packets; it avoids the per-element
+// allocation and pointer-chasing of container/list on the hot path.
+type ring struct {
+	buf        []*packet.Packet
+	head, size int
+}
+
+func (r *ring) len() int { return r.size }
+
+func (r *ring) push(p *packet.Packet) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = p
+	r.size++
+}
+
+func (r *ring) pop() *packet.Packet {
+	if r.size == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return p
+}
+
+func (r *ring) peek() *packet.Packet {
+	if r.size == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+func (r *ring) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]*packet.Packet, n)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,146 @@
+// Package ratelimit implements the two end-host rate-limiting baselines the
+// paper compares AQ against (§5.1): the pre-determined rate limiter (PRL,
+// an HTB-style static token bucket per VM) and the dynamic rate limiter
+// (DRL, an ElasticSwitch-style controller that re-divides guarantees among
+// communicating VM pairs every 15 ms).
+package ratelimit
+
+import (
+	"aqueue/internal/packet"
+	"aqueue/internal/queue"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+	"aqueue/internal/units"
+)
+
+// TokenBucket is an event-driven token-bucket shaper: packets submitted
+// while tokens are available leave immediately; otherwise they queue (up to
+// a byte limit, like an HTB qdisc buffer) and are released as tokens refill.
+type TokenBucket struct {
+	eng    *sim.Engine
+	rate   float64 // bytes per nanosecond
+	burst  float64 // bucket depth in bytes
+	tokens float64
+	last   sim.Time
+	q      *queue.FIFO
+	out    func(*packet.Packet)
+	ev     *sim.Event
+
+	// Submitted and Dropped count shaper arrivals and queue-limit drops.
+	Submitted uint64
+	Dropped   uint64
+}
+
+// Default shaper queue: deep enough to absorb a window, small enough that
+// unresponsive senders see loss (as with a real qdisc).
+const defaultShaperQueue = 500 * 1000
+
+// NewTokenBucket builds a shaper releasing packets through out.
+func NewTokenBucket(eng *sim.Engine, rate units.BitRate, burst int, out func(*packet.Packet)) *TokenBucket {
+	if burst <= 0 {
+		burst = 3 * packet.MaxDataBytes
+	}
+	return &TokenBucket{
+		eng:    eng,
+		rate:   rate.BytesPerNano(),
+		burst:  float64(burst),
+		tokens: float64(burst),
+		q:      queue.New(defaultShaperQueue, 0),
+		out:    out,
+	}
+}
+
+// Rate returns the configured rate.
+func (tb *TokenBucket) Rate() units.BitRate {
+	return units.BitRate(tb.rate * 8e9)
+}
+
+// SetRate changes the shaping rate, preserving accumulated tokens. Any
+// pending release timer is rescheduled under the new rate.
+func (tb *TokenBucket) SetRate(r units.BitRate) {
+	tb.refill()
+	tb.rate = r.BytesPerNano()
+	tb.ev.Cancel()
+	tb.schedule()
+}
+
+// Backlog returns the queued bytes waiting for tokens.
+func (tb *TokenBucket) Backlog() int { return tb.q.Bytes() }
+
+// Submit shapes one packet.
+func (tb *TokenBucket) Submit(p *packet.Packet) {
+	tb.Submitted++
+	tb.refill()
+	if tb.q.Len() == 0 && tb.tokens >= float64(p.Size) {
+		tb.tokens -= float64(p.Size)
+		tb.out(p)
+		return
+	}
+	if !tb.q.Push(tb.eng.Now(), p) {
+		tb.Dropped++
+		return
+	}
+	tb.schedule()
+}
+
+// refill adds tokens for the time elapsed since the last refill.
+func (tb *TokenBucket) refill() {
+	now := tb.eng.Now()
+	tb.tokens += float64(now-tb.last) * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.last = now
+}
+
+// drain releases every packet the current tokens cover, then reschedules.
+func (tb *TokenBucket) drain() {
+	tb.refill()
+	for {
+		head := tb.q.Peek()
+		if head == nil {
+			return
+		}
+		if tb.tokens < float64(head.Size) {
+			tb.schedule()
+			return
+		}
+		tb.tokens -= float64(head.Size)
+		tb.out(tb.q.Pop())
+	}
+}
+
+// schedule arms the release timer for when the head packet's tokens arrive.
+func (tb *TokenBucket) schedule() {
+	head := tb.q.Peek()
+	if head == nil {
+		return
+	}
+	if tb.ev != nil && !tb.ev.Cancelled() && tb.ev.Time() > tb.eng.Now() {
+		return // a timer is already pending; drain will reschedule
+	}
+	need := float64(head.Size) - tb.tokens
+	var wait sim.Time = 1
+	if need > 0 && tb.rate > 0 {
+		wait = sim.Time(need / tb.rate)
+		if wait < 1 {
+			wait = 1
+		}
+	}
+	tb.ev = tb.eng.After(wait, tb.drain)
+}
+
+// AttachPRL installs a static outbound shaper on the host (the HTB-style
+// pre-determined rate limiter): data packets are shaped, ACKs pass. The
+// shaper is returned for rate changes and inspection.
+func AttachPRL(h *topo.Host, rate units.BitRate) *TokenBucket {
+	tb := NewTokenBucket(h.Engine(), rate, 0, h.Transmit)
+	h.Filter = func(p *packet.Packet) bool {
+		if p.Kind != packet.Data {
+			return false
+		}
+		tb.Submit(p)
+		return true
+	}
+	return tb
+}

@@ -1,0 +1,186 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is intentionally single-threaded: given the same seed and the
+// same sequence of Schedule calls, a run is bit-for-bit reproducible, which
+// is what the experiment harness and the regression tests rely on. Events
+// scheduled for the same instant fire in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant, in nanoseconds since the start of the run.
+type Time int64
+
+// Convenient duration constants in simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts the time to floating-point seconds, for rate math and
+// report formatting.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback. It can be cancelled before it fires; a
+// cancelled event stays in the heap but is skipped when popped.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// Time returns the instant the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Engine owns the simulated clock and the pending-event heap.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Processed counts events that have fired (not cancelled ones); it is
+	// exposed for benchmarks and sanity checks.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v which is before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Pending reports the number of events still in the heap, including
+// cancelled ones that have not been popped yet.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the heap is empty. Cancelled events are discarded without firing.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		e.Processed++
+		return true
+	}
+	return false
+}
+
+// Run fires events until the heap is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline and then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay pending.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+		e.Processed++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// eventHeap orders events by (time, seq) so same-instant events fire in
+// scheduling order, keeping runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket log-scale histogram for latency-like
+// quantities: bucket i covers [base·2^i, base·2^(i+1)). It trades the
+// exactness of Percentiles for O(1) memory, which matters when an
+// experiment records tens of millions of samples.
+type Histogram struct {
+	base    float64
+	buckets []uint64
+	under   uint64
+	count   uint64
+	sum     float64
+	max     float64
+}
+
+// NewHistogram returns a histogram with the given base (smallest resolved
+// value) and bucket count.
+func NewHistogram(base float64, buckets int) *Histogram {
+	if base <= 0 {
+		base = 1
+	}
+	if buckets < 1 {
+		buckets = 32
+	}
+	return &Histogram{base: base, buckets: make([]uint64, buckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.base {
+		h.under++
+		return
+	}
+	i := int(math.Log2(v / h.base))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile approximates the q-th quantile from the buckets (upper bound of
+// the bucket containing it).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target <= h.under {
+		return h.base
+	}
+	acc := h.under
+	for i, c := range h.buckets {
+		acc += c
+		if acc >= target {
+			return h.base * math.Pow(2, float64(i+1))
+		}
+	}
+	return h.max
+}
+
+// String renders a compact sparkline-style summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50<=%.1f p99<=%.1f max=%.1f",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aqueue/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 20)
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// p50 of 1..1000 is ~500; bucket upper bound gives 512.
+	if got := h.Quantile(0.5); got != 512 {
+		t.Fatalf("p50 bucket = %v, want 512", got)
+	}
+	// p99 ~ 990 -> bucket upper bound 1024.
+	if got := h.Quantile(0.99); got != 1024 {
+		t.Fatalf("p99 bucket = %v, want 1024", got)
+	}
+	if !strings.Contains(h.String(), "n=1000") {
+		t.Fatalf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramUnderflowAndEmpty(t *testing.T) {
+	h := NewHistogram(10, 8)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Add(1)
+	h.Add(2)
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("all-underflow p50 = %v, want base", got)
+	}
+}
+
+func TestHistogramAgreesWithPercentiles(t *testing.T) {
+	// The bucketed quantile must bound the exact quantile from above by at
+	// most one octave.
+	h := NewHistogram(1, 32)
+	var p Percentiles
+	r := sim.NewRand(12)
+	for i := 0; i < 100000; i++ {
+		v := float64(1 + r.Intn(1_000_000))
+		h.Add(v)
+		p.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := p.Quantile(q)
+		approx := h.Quantile(q)
+		if approx < exact {
+			t.Fatalf("q%.2f: bucketed %v below exact %v", q, approx, exact)
+		}
+		if approx > exact*2.2 {
+			t.Fatalf("q%.2f: bucketed %v more than an octave above exact %v", q, approx, exact)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package stats provides the measurement primitives the experiment harness
+// uses: windowed throughput meters, percentile estimation over delay
+// samples, Jain's fairness index, and flow-completion tracking per entity.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"aqueue/internal/sim"
+)
+
+// Meter accumulates bytes into fixed-width time buckets so experiments can
+// report throughput time series (Figure 9) as well as averages.
+type Meter struct {
+	bucket sim.Time
+	counts []uint64
+	total  uint64
+	first  sim.Time
+	last   sim.Time
+}
+
+// NewMeter returns a meter with the given bucket width.
+func NewMeter(bucket sim.Time) *Meter {
+	if bucket <= 0 {
+		bucket = sim.Millisecond
+	}
+	return &Meter{bucket: bucket}
+}
+
+// Add accounts n bytes observed at time now.
+func (m *Meter) Add(now sim.Time, n int) {
+	idx := int(now / m.bucket)
+	for len(m.counts) <= idx {
+		m.counts = append(m.counts, 0)
+	}
+	m.counts[idx] += uint64(n)
+	m.total += uint64(n)
+	if m.total == uint64(n) {
+		m.first = now
+	}
+	if now > m.last {
+		m.last = now
+	}
+}
+
+// TotalBytes returns the bytes accounted so far.
+func (m *Meter) TotalBytes() uint64 { return m.total }
+
+// Gbps returns the average rate in Gbit/s over [from, to].
+func (m *Meter) Gbps(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var sum uint64
+	lo, hi := int(from/m.bucket), int(to/m.bucket)
+	for i := lo; i <= hi && i < len(m.counts); i++ {
+		sum += m.counts[i]
+	}
+	return float64(sum) * 8 / (to - from).Seconds() / 1e9
+}
+
+// Series returns the per-bucket rates in Gbit/s for buckets [0, n).
+func (m *Meter) Series(n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var c uint64
+		if i < len(m.counts) {
+			c = m.counts[i]
+		}
+		out[i] = float64(c) * 8 / m.bucket.Seconds() / 1e9
+	}
+	return out
+}
+
+// RateGbps converts a byte count over a duration into Gbit/s.
+func RateGbps(bytes uint64, d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e9
+}
+
+// Percentiles collects samples and reports order statistics. Samples are
+// kept exactly (the experiments generate at most a few million).
+type Percentiles struct {
+	samples []float64
+	sorted  bool
+}
+
+// AddDuration records a time sample.
+func (p *Percentiles) AddDuration(d sim.Time) { p.Add(float64(d)) }
+
+// Add records a sample.
+func (p *Percentiles) Add(v float64) {
+	p.samples = append(p.samples, v)
+	p.sorted = false
+}
+
+// Count returns the number of samples.
+func (p *Percentiles) Count() int { return len(p.samples) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1), or 0 with no samples.
+func (p *Percentiles) Quantile(q float64) float64 {
+	if len(p.samples) == 0 {
+		return 0
+	}
+	if !p.sorted {
+		sort.Float64s(p.samples)
+		p.sorted = true
+	}
+	if q <= 0 {
+		return p.samples[0]
+	}
+	if q >= 1 {
+		return p.samples[len(p.samples)-1]
+	}
+	pos := q * float64(len(p.samples)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(p.samples) {
+		return p.samples[lo]
+	}
+	return p.samples[lo]*(1-frac) + p.samples[lo+1]*frac
+}
+
+// Mean returns the sample mean.
+func (p *Percentiles) Mean() float64 {
+	if len(p.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range p.samples {
+		sum += v
+	}
+	return sum / float64(len(p.samples))
+}
+
+// JainIndex computes Jain's fairness index over the given allocations:
+// (Σx)² / (n·Σx²). It is 1 for perfectly equal shares and 1/n in the
+// maximally unfair case.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// MinMaxRatio returns min/max of the inputs — the paper's "entity fairness"
+// metric (§5.2: the ratio of the shorter completion time to the longer).
+func MinMaxRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if hi <= 0 {
+		return 0
+	}
+	return lo / hi
+}
+
+// FCT tracks the flow completions of one entity's workload: it reports the
+// workload completion time (when the last flow finishes) and FCT
+// statistics.
+type FCT struct {
+	Started   int
+	Completed int
+	LastDone  sim.Time
+	Bytes     int64
+	fcts      Percentiles
+}
+
+// FlowStarted accounts a new flow of the given size.
+func (f *FCT) FlowStarted(size int64) {
+	f.Started++
+	f.Bytes += size
+}
+
+// FlowDone accounts a completion at time now for a flow started at start.
+func (f *FCT) FlowDone(start, now sim.Time) {
+	f.Completed++
+	if now > f.LastDone {
+		f.LastDone = now
+	}
+	f.fcts.AddDuration(now - start)
+}
+
+// AllDone reports whether every started flow completed.
+func (f *FCT) AllDone() bool { return f.Completed == f.Started && f.Started > 0 }
+
+// CompletionTime returns when the last flow finished (the paper's workload
+// completion time).
+func (f *FCT) CompletionTime() sim.Time { return f.LastDone }
+
+// MeanFCT returns the mean flow completion time.
+func (f *FCT) MeanFCT() sim.Time { return sim.Time(f.fcts.Mean()) }
+
+// P99FCT returns the 99th-percentile flow completion time.
+func (f *FCT) P99FCT() sim.Time { return sim.Time(f.fcts.Quantile(0.99)) }

@@ -1,0 +1,109 @@
+package topo
+
+import (
+	"fmt"
+
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+)
+
+// LeafSpine is a two-tier Clos fabric: every leaf connects to every spine,
+// hosts hang off leaves, and inter-leaf traffic is ECMP-hashed across the
+// spines. This is the "data center network" shape the paper targets; AQs
+// deploy on the leaf switches' pipelines (an entity may hold AQs on
+// several switches, §4.1).
+type LeafSpine struct {
+	Eng          *sim.Engine
+	Spines       []*Switch
+	Leaves       []*Switch
+	Hosts        []*Host
+	HostsPerLeaf int
+
+	// LeafUp[l][s] is the uplink pipe from leaf l to spine s; SpineDown[s][l]
+	// the downlink from spine s to leaf l; HostDown[h] the pipe from host
+	// h's leaf down to it. Exposed for measurement hooks.
+	LeafUp    [][]*Pipe
+	SpineDown [][]*Pipe
+	HostDown  []*Pipe
+}
+
+// NewLeafSpine builds a fabric with the given leaf, spine and per-leaf host
+// counts. edge configures host links, fabricLink the leaf<->spine links.
+func NewLeafSpine(eng *sim.Engine, leaves, spines, hostsPerLeaf int, edge, fabricLink LinkSpec) *LeafSpine {
+	if leaves < 1 || spines < 1 || hostsPerLeaf < 1 {
+		panic("topo: leaf-spine needs at least one of everything")
+	}
+	f := &LeafSpine{
+		Eng:          eng,
+		HostsPerLeaf: hostsPerLeaf,
+		LeafUp:       make([][]*Pipe, leaves),
+		SpineDown:    make([][]*Pipe, spines),
+	}
+	for s := 0; s < spines; s++ {
+		f.Spines = append(f.Spines, NewSwitch(eng, fmt.Sprintf("spine%d", s)))
+		f.SpineDown[s] = make([]*Pipe, leaves)
+	}
+	for l := 0; l < leaves; l++ {
+		f.Leaves = append(f.Leaves, NewSwitch(eng, fmt.Sprintf("leaf%d", l)))
+		f.LeafUp[l] = make([]*Pipe, spines)
+	}
+
+	// Leaf <-> spine mesh.
+	upPorts := make([][]int, leaves) // upPorts[l][s] = port on leaf l toward spine s
+	for l := 0; l < leaves; l++ {
+		upPorts[l] = make([]int, spines)
+		for s := 0; s < spines; s++ {
+			up := newPipe(eng, fabricLink, f.Spines[s])
+			f.LeafUp[l][s] = up
+			upPorts[l][s] = f.Leaves[l].AddPort(up)
+			down := newPipe(eng, fabricLink, f.Leaves[l])
+			f.SpineDown[s][l] = down
+			// Port number on the spine toward leaf l is assigned below
+			// once we add routes (ports are added in leaf order).
+			f.Spines[s].AddPort(down)
+		}
+	}
+
+	// Hosts.
+	id := packet.HostID(0)
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < hostsPerLeaf; i++ {
+			h := NewHost(eng, id)
+			h.SetUplink(newPipe(eng, edge, f.Leaves[l]))
+			down := newPipe(eng, edge, h)
+			port := f.Leaves[l].AddPort(down)
+			f.Leaves[l].AddRoute(id, port)
+			f.Hosts = append(f.Hosts, h)
+			f.HostDown = append(f.HostDown, down)
+			id++
+		}
+	}
+
+	// Routing: leaves reach remote hosts via ECMP over all spines; spines
+	// reach every host via its leaf (spine port l is toward leaf l, since
+	// ports were added in leaf order).
+	total := leaves * hostsPerLeaf
+	for l := 0; l < leaves; l++ {
+		for h := 0; h < total; h++ {
+			hostLeaf := h / hostsPerLeaf
+			if hostLeaf == l {
+				continue // local route already installed
+			}
+			f.Leaves[l].AddECMPRoute(packet.HostID(h), upPorts[l]...)
+		}
+	}
+	for s := 0; s < spines; s++ {
+		for h := 0; h < total; h++ {
+			f.Spines[s].AddRoute(packet.HostID(h), h/hostsPerLeaf)
+		}
+	}
+	return f
+}
+
+// Leaf returns the leaf switch of the given host.
+func (f *LeafSpine) Leaf(h packet.HostID) *Switch {
+	return f.Leaves[int(h)/f.HostsPerLeaf]
+}
+
+// Host returns the host with the given ID.
+func (f *LeafSpine) Host(h packet.HostID) *Host { return f.Hosts[h] }

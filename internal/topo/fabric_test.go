@@ -1,0 +1,117 @@
+package topo
+
+import (
+	"testing"
+
+	"aqueue/internal/core"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/units"
+)
+
+func fabricSpecs() (edge, fab LinkSpec) {
+	edge = DefaultSim()
+	fab = DefaultSim()
+	fab.Rate = 40 * units.Gbps
+	return
+}
+
+func TestLeafSpineLocalDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	edge, fab := fabricSpecs()
+	f := NewLeafSpine(eng, 2, 2, 4, edge, fab)
+	// Host 0 and 1 share leaf 0: local traffic must not touch the spines.
+	f.Hosts[0].Send(packet.NewData(0, 1, 1, 0, 1000))
+	eng.Run()
+	if f.Hosts[1].RxPackets != 1 {
+		t.Fatal("local delivery failed")
+	}
+	for s := range f.Spines {
+		if f.Spines[s].RxPackets != 0 {
+			t.Fatal("local traffic crossed a spine")
+		}
+	}
+}
+
+func TestLeafSpineRemoteDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	edge, fab := fabricSpecs()
+	f := NewLeafSpine(eng, 3, 2, 2, edge, fab)
+	// Host 0 (leaf 0) to host 5 (leaf 2).
+	f.Hosts[0].Send(packet.NewData(0, 5, 7, 0, 1000))
+	eng.Run()
+	if f.Hosts[5].RxPackets != 1 {
+		t.Fatal("remote delivery failed")
+	}
+	crossed := 0
+	for s := range f.Spines {
+		crossed += int(f.Spines[s].RxPackets)
+	}
+	if crossed != 1 {
+		t.Fatalf("packet crossed %d spines, want exactly 1", crossed)
+	}
+}
+
+func TestLeafSpineECMPSpreadsFlows(t *testing.T) {
+	eng := sim.NewEngine()
+	edge, fab := fabricSpecs()
+	f := NewLeafSpine(eng, 2, 4, 2, edge, fab)
+	// Many flows from leaf 0 to leaf 1: spine loads should spread.
+	for flow := packet.FlowID(1); flow <= 64; flow++ {
+		f.Hosts[0].Send(packet.NewData(0, 2, flow, 0, 1000))
+	}
+	eng.Run()
+	for s := range f.Spines {
+		if f.Spines[s].RxPackets == 0 {
+			t.Fatalf("spine %d received nothing — ECMP not spreading", s)
+		}
+	}
+	if f.Hosts[2].RxPackets != 64 {
+		t.Fatalf("delivered %d of 64", f.Hosts[2].RxPackets)
+	}
+}
+
+func TestLeafSpineFlowStaysOnOnePath(t *testing.T) {
+	eng := sim.NewEngine()
+	edge, fab := fabricSpecs()
+	f := NewLeafSpine(eng, 2, 4, 1, edge, fab)
+	// Many packets of ONE flow: exactly one spine must carry all of them
+	// (per-flow hashing prevents reordering).
+	for i := 0; i < 32; i++ {
+		f.Hosts[0].Send(packet.NewData(0, 1, 99, int64(i*1000), 1000))
+	}
+	eng.Run()
+	used := 0
+	for s := range f.Spines {
+		if f.Spines[s].RxPackets > 0 {
+			used++
+			if f.Spines[s].RxPackets != 32 {
+				t.Fatalf("spine %d carried %d of 32", s, f.Spines[s].RxPackets)
+			}
+		}
+	}
+	if used != 1 {
+		t.Fatalf("flow used %d spines, want 1", used)
+	}
+}
+
+func TestLeafSpineVirtualDelayAccumulatesAcrossAQHops(t *testing.T) {
+	// Deploy the same entity's AQ on both leaf switches; a packet crossing
+	// the fabric accumulates virtual delay from each AQ hop (§3.3.2).
+	eng := sim.NewEngine()
+	edge, fab := fabricSpecs()
+	f := NewLeafSpine(eng, 2, 1, 1, edge, fab)
+	cfg := core.Config{ID: 5, Rate: units.Gbps, Limit: 1 << 30}
+	f.Leaves[0].Ingress.Deploy(cfg)
+	f.Leaves[1].Ingress.Deploy(cfg)
+	var got sim.Time
+	f.Hosts[1].RxHook = func(p *packet.Packet) { got = p.VirtualDelay }
+	p := packet.NewData(0, 1, 3, 0, 960) // size 1000
+	p.IngressAQ = 5
+	f.Hosts[0].Send(p)
+	eng.Run()
+	// Each AQ hop adds gap/R = 1000 B / 0.125 B/ns = 8000 ns.
+	if got != 16000 {
+		t.Fatalf("virtual delay = %v, want 16us over two AQ hops", got)
+	}
+}

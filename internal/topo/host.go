@@ -1,0 +1,90 @@
+package topo
+
+import (
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+)
+
+// FlowHandler consumes packets belonging to one transport flow.
+type FlowHandler interface {
+	Handle(p *packet.Packet)
+}
+
+// SendFilter intercepts a host's outbound packets before they reach the
+// NIC. Returning true means the filter consumed the packet (e.g. queued it
+// in an end-host rate limiter that will transmit it later via Transmit);
+// false lets the packet go straight out. This is how the PRL/DRL baselines
+// (§5.1) attach to hosts without the transport knowing.
+type SendFilter func(p *packet.Packet) bool
+
+// Host is an end host (a VM in the paper's terms): it owns the uplink pipe
+// to its switch, dispatches received packets to per-flow handlers, and runs
+// outbound packets through an optional SendFilter.
+type Host struct {
+	eng      *sim.Engine
+	id       packet.HostID
+	out      *Pipe
+	handlers map[packet.FlowID]FlowHandler
+
+	// Filter, when non-nil, intercepts outbound packets (see SendFilter).
+	Filter SendFilter
+
+	// RxHook, when set, observes every packet delivered to this host
+	// before flow dispatch; the experiment harness uses it for throughput
+	// and delay measurement.
+	RxHook func(p *packet.Packet)
+
+	// Counters.
+	RxPackets uint64
+	RxBytes   uint64
+	Orphans   uint64 // packets with no registered flow handler
+}
+
+// NewHost returns a host with the given ID; attach its uplink with SetUplink.
+func NewHost(eng *sim.Engine, id packet.HostID) *Host {
+	return &Host{eng: eng, id: id, handlers: make(map[packet.FlowID]FlowHandler)}
+}
+
+// ID returns the host identifier.
+func (h *Host) ID() packet.HostID { return h.id }
+
+// Engine returns the simulation engine the host runs on.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// SetUplink attaches the pipe that carries this host's outbound traffic.
+func (h *Host) SetUplink(p *Pipe) { h.out = p }
+
+// Uplink returns the host's outbound pipe.
+func (h *Host) Uplink() *Pipe { return h.out }
+
+// Register installs the handler for a flow ID.
+func (h *Host) Register(id packet.FlowID, fh FlowHandler) { h.handlers[id] = fh }
+
+// Unregister removes a flow handler.
+func (h *Host) Unregister(id packet.FlowID) { delete(h.handlers, id) }
+
+// Receive implements Receiver: account the packet and dispatch by flow ID.
+func (h *Host) Receive(p *packet.Packet) {
+	h.RxPackets++
+	h.RxBytes += uint64(p.Size)
+	if h.RxHook != nil {
+		h.RxHook(p)
+	}
+	if fh, ok := h.handlers[p.Flow]; ok {
+		fh.Handle(p)
+		return
+	}
+	h.Orphans++
+}
+
+// Send emits a packet from this host, honouring the send filter.
+func (h *Host) Send(p *packet.Packet) {
+	if h.Filter != nil && h.Filter(p) {
+		return
+	}
+	h.Transmit(p)
+}
+
+// Transmit puts the packet on the uplink, bypassing the send filter. Rate
+// limiters call this when they release a shaped packet.
+func (h *Host) Transmit(p *packet.Packet) { h.out.Send(p) }

@@ -1,0 +1,131 @@
+// Package topo models the network: unidirectional pipes (a link direction
+// with its egress FIFO and transmitter), switches that run the AQ ingress
+// and egress pipelines of §4.2, end hosts, and builders for the paper's two
+// evaluation topologies (the NS3 dumbbell of Fig. 5a and the testbed star of
+// Fig. 5b / Fig. 2).
+package topo
+
+import (
+	"aqueue/internal/packet"
+	"aqueue/internal/queue"
+	"aqueue/internal/sim"
+	"aqueue/internal/units"
+)
+
+// Receiver consumes packets delivered by a pipe.
+type Receiver interface {
+	Receive(p *packet.Packet)
+}
+
+// Pipe is one direction of a link: a FIFO egress buffer drained by a
+// transmitter at the link rate, followed by a fixed propagation delay.
+type Pipe struct {
+	eng   *sim.Engine
+	rate  units.BitRate
+	delay sim.Time
+	q     queue.Interface
+	dst   Receiver
+	busy  bool
+
+	// jitter, when positive, adds a uniform random component in
+	// [0, jitter) to each packet's propagation delay. Continuous streams
+	// from equal-rate links otherwise phase-lock at a downstream
+	// contention point, which a real network's clock and processing noise
+	// prevents. Delivery order within the pipe is preserved.
+	jitter   sim.Time
+	rng      *sim.Rand
+	lastPlan sim.Time // latest planned delivery time, for order preservation
+
+	// DelayHook, when set, observes the physical queuing delay of every
+	// packet at dequeue time (excludes serialization and propagation).
+	DelayHook func(d sim.Time, p *packet.Packet)
+
+	// TxBytes counts bytes put on the wire (after any tail drops).
+	TxBytes uint64
+	// TxPackets counts packets put on the wire.
+	TxPackets uint64
+}
+
+// NewPipe builds a pipe draining into dst. queueLimit and ecnThreshold are
+// in bytes and configure the physical FIFO (see queue.New).
+func NewPipe(eng *sim.Engine, rate units.BitRate, delay sim.Time, queueLimit, ecnThreshold int, dst Receiver) *Pipe {
+	return &Pipe{
+		eng:   eng,
+		rate:  rate,
+		delay: delay,
+		q:     queue.New(queueLimit, ecnThreshold),
+		dst:   dst,
+	}
+}
+
+// SetScheduler replaces the egress queue (e.g. with a queue.DRR). Only
+// valid before any packet has been sent.
+func (p *Pipe) SetScheduler(q queue.Interface) { p.q = q }
+
+// Backlog returns the egress queue occupancy in bytes, whatever the
+// scheduler type.
+func (p *Pipe) Backlog() int { return p.q.Bytes() }
+
+// SetJitter enables per-packet propagation jitter in [0, j) using a stream
+// seeded with seed.
+func (p *Pipe) SetJitter(j sim.Time, seed uint64) {
+	p.jitter = j
+	p.rng = sim.NewRand(seed)
+}
+
+// Queue exposes the physical FIFO for stats and work-conservation checks;
+// it returns nil when a different scheduler is installed.
+func (p *Pipe) Queue() *queue.FIFO {
+	f, _ := p.q.(*queue.FIFO)
+	return f
+}
+
+// Rate returns the link rate.
+func (p *Pipe) Rate() units.BitRate { return p.rate }
+
+// SetRate changes the link rate; used by tests that reconfigure link speeds
+// (the paper's testbed runs ports at both 100 and 25 Gbps).
+func (p *Pipe) SetRate(r units.BitRate) { p.rate = r }
+
+// Send enqueues the packet for transmission. The packet is silently tail-
+// dropped when the FIFO is full — exactly what a physical port does.
+func (p *Pipe) Send(pkt *packet.Packet) {
+	if !p.q.Push(p.eng.Now(), pkt) {
+		return
+	}
+	p.kick()
+}
+
+// kick starts the transmitter if it is idle and the queue is non-empty.
+func (p *Pipe) kick() {
+	if p.busy {
+		return
+	}
+	pkt := p.q.Pop()
+	if pkt == nil {
+		return
+	}
+	waited := p.eng.Now() - pkt.EnqueuedAt
+	pkt.QueueDelay += waited
+	if p.DelayHook != nil {
+		p.DelayHook(waited, pkt)
+	}
+	p.busy = true
+	p.TxBytes += uint64(pkt.Size)
+	p.TxPackets++
+	tx := sim.Time(p.rate.TransmitNanos(pkt.Size))
+	p.eng.After(tx, func() {
+		p.busy = false
+		d := p.delay
+		if p.jitter > 0 {
+			d += sim.Time(p.rng.Uint64() % uint64(p.jitter))
+		}
+		at := p.eng.Now() + d
+		if at <= p.lastPlan {
+			at = p.lastPlan + 1 // never reorder within a pipe
+		}
+		p.lastPlan = at
+		p.eng.At(at, func() { p.dst.Receive(pkt) })
+		p.kick()
+	})
+}

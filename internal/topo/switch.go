@@ -1,0 +1,142 @@
+package topo
+
+import (
+	"fmt"
+
+	"aqueue/internal/core"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+)
+
+// Switch is a store-and-forward switch with per-destination routing and the
+// two AQ match points of §4.2: the ingress pipeline (matched on the
+// packet's IngressAQ tag when the packet arrives) and the egress pipeline
+// (matched on the EgressAQ tag before the packet is enqueued on its output
+// port).
+type Switch struct {
+	eng    *sim.Engine
+	name   string
+	ports  []*Pipe
+	routes map[packet.HostID]int
+	// ecmp holds multi-path routes: the output port is chosen by a hash of
+	// the flow ID, so one flow always follows one path (no reordering)
+	// while flows spread across the group.
+	ecmp map[packet.HostID][]int
+
+	// Ingress and Egress are the AQ tables for the two pipeline positions.
+	Ingress *core.Table
+	Egress  *core.Table
+
+	// WorkConserving enables the §6 extension: AQ processing is bypassed
+	// while the physical queue of the packet's output port is empty, so
+	// entities may exceed their allocations when the network is idle.
+	WorkConserving bool
+
+	// AQDropHook, when set, observes every packet an AQ pipeline drops at
+	// this switch (for tracing and per-entity loss accounting).
+	AQDropHook func(p *packet.Packet)
+
+	// Counters.
+	RxPackets  uint64
+	AQDrops    uint64
+	RouteMiss  uint64
+	AQBypassed uint64
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch(eng *sim.Engine, name string) *Switch {
+	return &Switch{
+		eng:     eng,
+		name:    name,
+		routes:  make(map[packet.HostID]int),
+		ecmp:    make(map[packet.HostID][]int),
+		Ingress: core.NewTable(),
+		Egress:  core.NewTable(),
+	}
+}
+
+// AddPort attaches an egress pipe and returns its port number.
+func (s *Switch) AddPort(p *Pipe) int {
+	s.ports = append(s.ports, p)
+	return len(s.ports) - 1
+}
+
+// Port returns the pipe of the given port number.
+func (s *Switch) Port(n int) *Pipe { return s.ports[n] }
+
+// AddRoute directs traffic for dst out of the given port.
+func (s *Switch) AddRoute(dst packet.HostID, port int) {
+	if port < 0 || port >= len(s.ports) {
+		panic(fmt.Sprintf("switch %s: route to %d via invalid port %d", s.name, dst, port))
+	}
+	s.routes[dst] = port
+}
+
+// AddECMPRoute directs traffic for dst over the given port group, hashed
+// by flow ID.
+func (s *Switch) AddECMPRoute(dst packet.HostID, ports ...int) {
+	for _, port := range ports {
+		if port < 0 || port >= len(s.ports) {
+			panic(fmt.Sprintf("switch %s: ECMP route to %d via invalid port %d", s.name, dst, port))
+		}
+	}
+	s.ecmp[dst] = append([]int(nil), ports...)
+}
+
+// outPort resolves the output port for a packet: exact routes win, then
+// ECMP groups.
+func (s *Switch) outPort(p *packet.Packet) (int, bool) {
+	if port, ok := s.routes[p.Dst]; ok {
+		return port, true
+	}
+	if group, ok := s.ecmp[p.Dst]; ok && len(group) > 0 {
+		return group[flowHash(p.Flow)%uint64(len(group))], true
+	}
+	return 0, false
+}
+
+// flowHash mixes the flow ID (splitmix64 finalizer) so consecutive IDs
+// spread across ECMP groups.
+func flowHash(f packet.FlowID) uint64 {
+	z := uint64(f) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Receive implements Receiver: it runs the ingress AQ pipeline, routes the
+// packet, runs the egress AQ pipeline, and enqueues on the output port.
+func (s *Switch) Receive(p *packet.Packet) {
+	s.RxPackets++
+	port, ok := s.outPort(p)
+	if !ok {
+		s.RouteMiss++
+		return
+	}
+	out := s.ports[port]
+	if s.WorkConserving && out.Backlog() == 0 {
+		// §6: bypass AQ while the physical queue is empty.
+		s.AQBypassed++
+		out.Send(p)
+		return
+	}
+	now := s.eng.Now()
+	if s.Ingress.Process(now, p.IngressAQ, p) == core.Drop {
+		s.AQDrops++
+		if s.AQDropHook != nil {
+			s.AQDropHook(p)
+		}
+		return
+	}
+	if s.Egress.Process(now, p.EgressAQ, p) == core.Drop {
+		s.AQDrops++
+		if s.AQDropHook != nil {
+			s.AQDropHook(p)
+		}
+		return
+	}
+	out.Send(p)
+}
+
+// String identifies the switch in logs.
+func (s *Switch) String() string { return "switch:" + s.name }

@@ -1,0 +1,67 @@
+package trace_test
+
+import (
+	"testing"
+
+	"aqueue/internal/cc"
+	"aqueue/internal/core"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+	"aqueue/internal/trace"
+	"aqueue/internal/transport"
+	"aqueue/internal/units"
+)
+
+// TestTraceAQDropsEndToEnd attaches the ring to a switch's AQ-drop hook
+// and a host's receive hook and reconstructs one flow's timeline.
+func TestTraceAQDropsEndToEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := topo.DefaultSim()
+	d := topo.NewDumbbell(eng, 1, 1, spec, spec)
+	d.S1.Ingress.Deploy(core.Config{ID: 1, Rate: 1 * units.Gbps, Limit: 30_000})
+
+	ring := trace.NewRing(4096)
+	d.S1.AQDropHook = func(p *packet.Packet) {
+		ring.Add(trace.FromPacket(eng.Now(), trace.AQDrop, p, "S1/ingress"))
+	}
+	d.Right[0].RxHook = func(p *packet.Packet) {
+		if p.Kind == packet.Data {
+			ring.Add(trace.FromPacket(eng.Now(), trace.Recv, p, "host"))
+		}
+	}
+
+	s := transport.NewSender(d.Left[0], d.Right[0], 0, cc.NewCubic(),
+		transport.Options{IngressAQ: 1})
+	s.Start(0)
+	eng.RunUntil(30 * sim.Millisecond)
+	s.Stop()
+
+	events := ring.Filter(s.Flow())
+	if len(events) == 0 {
+		t.Fatal("no events traced")
+	}
+	drops, recvs := 0, 0
+	last := sim.Time(-1)
+	for _, e := range events {
+		if e.At < last {
+			t.Fatal("trace out of order")
+		}
+		last = e.At
+		switch e.Kind {
+		case trace.AQDrop:
+			drops++
+			if e.Where != "S1/ingress" {
+				t.Fatalf("drop located at %q", e.Where)
+			}
+		case trace.Recv:
+			recvs++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("a 1 Gbps AQ under a CUBIC flow must drop")
+	}
+	if recvs == 0 {
+		t.Fatal("no deliveries traced")
+	}
+}

@@ -1,0 +1,161 @@
+// Package trace provides lightweight observability for simulation runs:
+// a bounded in-memory event ring the harness can attach to hosts, switches
+// and AQs, plus per-flow record export. It is the debugging substrate the
+// repository's own development used; experiments keep it detached unless
+// asked, so the hot path stays allocation-free.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	Send Kind = iota
+	Recv
+	AQDrop
+	AQMark
+	QueueDrop
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	case AQDrop:
+		return "aq-drop"
+	case AQMark:
+		return "aq-mark"
+	case QueueDrop:
+		return "q-drop"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Flow  packet.FlowID
+	Src   packet.HostID
+	Dst   packet.HostID
+	Seq   int64
+	Size  int
+	Where string
+}
+
+// Ring is a bounded event buffer: when full, the oldest events are
+// overwritten, so attaching it to a long run keeps the tail.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+
+	// Recorded counts all events ever offered, including overwritten ones.
+	Recorded uint64
+}
+
+// NewRing returns a ring holding up to n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1024
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Add records an event.
+func (r *Ring) Add(e Event) {
+	r.buf[r.next] = e
+	r.next++
+	r.Recorded++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns the retained events of one flow, oldest-first.
+func (r *Ring) Filter(flow packet.FlowID) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Flow == flow {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteCSV dumps the retained events as CSV.
+func (r *Ring) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_ns", "kind", "flow", "src", "dst", "seq", "size", "where"}); err != nil {
+		return err
+	}
+	for _, e := range r.Events() {
+		rec := []string{
+			strconv.FormatInt(int64(e.At), 10),
+			e.Kind.String(),
+			strconv.FormatUint(uint64(e.Flow), 10),
+			strconv.Itoa(int(e.Src)),
+			strconv.Itoa(int(e.Dst)),
+			strconv.FormatInt(e.Seq, 10),
+			strconv.Itoa(e.Size),
+			e.Where,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String summarizes the ring.
+func (r *Ring) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace.Ring{%d retained, %d recorded}", r.Len(), r.Recorded)
+	return b.String()
+}
+
+// FromPacket builds an event from a packet at a location.
+func FromPacket(at sim.Time, k Kind, p *packet.Packet, where string) Event {
+	return Event{
+		At: at, Kind: k, Flow: p.Flow, Src: p.Src, Dst: p.Dst,
+		Seq: p.Seq, Size: p.Size, Where: where,
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"aqueue/internal/packet"
+)
+
+func TestRingRetention(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Add(Event{Seq: int64(i)})
+	}
+	if r.Len() != 3 || r.Recorded != 3 {
+		t.Fatalf("len=%d recorded=%d", r.Len(), r.Recorded)
+	}
+	got := r.Events()
+	for i, e := range got {
+		if e.Seq != int64(i) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Event{Seq: int64(i)})
+	}
+	if r.Len() != 4 || r.Recorded != 10 {
+		t.Fatalf("len=%d recorded=%d", r.Len(), r.Recorded)
+	}
+	got := r.Events()
+	want := []int64{6, 7, 8, 9}
+	for i := range want {
+		if got[i].Seq != want[i] {
+			t.Fatalf("wrapped order = %v", got)
+		}
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 12; i++ {
+		r.Add(Event{Flow: packet.FlowID(i % 3), Seq: int64(i)})
+	}
+	f1 := r.Filter(1)
+	if len(f1) != 4 {
+		t.Fatalf("flow 1 events = %d", len(f1))
+	}
+	for _, e := range f1 {
+		if e.Flow != 1 {
+			t.Fatal("filter leaked other flows")
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRing(8)
+	p := packet.NewData(1, 2, 9, 3000, 1000)
+	r.Add(FromPacket(12345, AQDrop, p, "S1/ingress"))
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "aq-drop") || !strings.Contains(out, "S1/ingress") {
+		t.Fatalf("csv = %q", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2 { // header + one event
+		t.Fatalf("csv has %d lines", lines)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Send: "send", Recv: "recv", AQDrop: "aq-drop", AQMark: "aq-mark", QueueDrop: "q-drop",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d = %q", k, k.String())
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestRingString(t *testing.T) {
+	r := NewRing(2)
+	r.Add(Event{})
+	if !strings.Contains(r.String(), "1 retained") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}

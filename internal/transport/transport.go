@@ -1,0 +1,607 @@
+// Package transport implements the packet-level reliable transport the
+// experiments run over, with a pluggable congestion-control algorithm
+// (internal/cc), plus a constant-bit-rate UDP sender for the non-reactive
+// entities of §5.2/§5.3.
+//
+// The transport is deliberately TCP-shaped but simplified to what the
+// paper's experiments exercise: cumulative ACKs (one per data segment),
+// SACK-based loss recovery in the style of RFC 6675 (the receiver echoes
+// the sequence of the segment that triggered each ACK; the sender keeps a
+// scoreboard and pipe estimate), an RTO with exponential backoff,
+// per-packet ECN echo, and sender pacing when the window is fractional
+// (Swift's cwnd < 1 regime).
+package transport
+
+import (
+	"aqueue/internal/cc"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+)
+
+// flowIDs allocates process-unique flow identifiers. The simulator is
+// single-threaded, so a plain counter suffices.
+var flowIDs packet.FlowID
+
+// NextFlowID returns a fresh flow identifier.
+func NextFlowID() packet.FlowID {
+	flowIDs++
+	return flowIDs
+}
+
+// Options configures a sender beyond its CC algorithm.
+type Options struct {
+	// MSS is the payload bytes per segment; zero selects packet.DefaultMSS.
+	MSS int
+	// EcnCapable marks data packets ECT so queues and ECN-type AQs may
+	// mark them. Set for DCTCP entities.
+	EcnCapable bool
+	// IngressAQ and EgressAQ are the AQ tags stamped on data packets
+	// (§4.1: the hypervisor tags packets with granted AQ IDs).
+	IngressAQ packet.AQID
+	EgressAQ  packet.AQID
+	// RTOMin floors the retransmission timeout; zero selects 1 ms.
+	RTOMin sim.Time
+}
+
+const (
+	defaultRTOMin = sim.Millisecond
+	rtoMax        = 100 * sim.Millisecond
+	dupAckThresh  = 3
+	// rwndBytes models the receive window: the sender never runs more than
+	// this many bytes past the cumulative ACK, exactly as flow control
+	// bounds a real TCP sender.
+	rwndBytes = 2 * 1000 * 1000
+)
+
+// Scoreboard segment states. Absence from the map means "sent and presumed
+// in flight" for sequences in [cumAck, nextSeq).
+const (
+	stSacked uint8 = iota + 1 // acknowledged out of order
+	stLost                    // presumed lost, queued for retransmission
+	stRetx                    // retransmitted, in flight again
+)
+
+// Sender is the sending half of a reliable flow. Create with NewSender,
+// then call Start.
+type Sender struct {
+	eng  *sim.Engine
+	src  *topo.Host
+	dst  *topo.Host
+	flow packet.FlowID
+	alg  cc.Algorithm
+	opt  Options
+
+	size    int64 // flow size in bytes; 0 means long-lived
+	nextSeq int64
+	cumAck  int64
+	dupacks int
+
+	// Loss-event gating for the CC (RFC 6582 "recover" semantics): one
+	// window reduction per loss event.
+	inRecovery bool
+	recoverSeq int64
+
+	// SACK scoreboard.
+	state    map[int64]uint8
+	rtxQ     []int64
+	pipe     int   // segments believed to be in the network
+	lossScan int64 // sequences below this are classified
+	fack     int64 // highest SACKed edge
+
+	srtt, rttvar, minRTT sim.Time
+	rto                  sim.Time
+	rtoEv                *sim.Event
+	rtoPending           bool
+	backoff              uint
+	frontRetxAt          sim.Time // when the front hole was last retransmitted
+
+	// Pacing state. nextPaced gates sends both in the fractional-window
+	// regime (one segment per RTT/cwnd) and in the normal regime, where
+	// segments are released at 1.25x cwnd/srtt like Linux's fair-queue
+	// pacing — without it, window growth injects line-rate bursts that no
+	// real NIC stack produces.
+	nextPaced sim.Time
+	pacedEv   *sim.Event
+
+	done bool
+	// OnComplete, when set, fires once when the last byte is acked.
+	OnComplete func(now sim.Time)
+
+	// Counters for tests and reports.
+	SentPackets  uint64
+	Retransmits  uint64
+	Timeouts     uint64
+	FastRecovers uint64
+
+	receiver *Receiver
+	startEv  *sim.Event
+}
+
+// NewSender wires a flow from src to dst carrying size bytes (0 = long
+// lived) under the given CC algorithm, and installs the matching receiver
+// on dst. The flow does not transmit until Start is called.
+func NewSender(src, dst *topo.Host, size int64, alg cc.Algorithm, opt Options) *Sender {
+	if opt.MSS == 0 {
+		opt.MSS = packet.DefaultMSS
+	}
+	if opt.RTOMin == 0 {
+		opt.RTOMin = defaultRTOMin
+	}
+	s := &Sender{
+		eng:   src.Engine(),
+		src:   src,
+		dst:   dst,
+		flow:  NextFlowID(),
+		alg:   alg,
+		opt:   opt,
+		size:  size,
+		rto:   10 * sim.Millisecond,
+		state: make(map[int64]uint8),
+	}
+	s.receiver = newReceiver(s)
+	src.Register(s.flow, s)
+	dst.Register(s.flow, s.receiver)
+	return s
+}
+
+// Flow returns the flow identifier.
+func (s *Sender) Flow() packet.FlowID { return s.flow }
+
+// Algorithm returns the CC algorithm instance driving this flow.
+func (s *Sender) Algorithm() cc.Algorithm { return s.alg }
+
+// Done reports whether the whole flow has been acknowledged.
+func (s *Sender) Done() bool { return s.done }
+
+// AckedBytes returns the cumulatively acknowledged bytes.
+func (s *Sender) AckedBytes() int64 { return s.cumAck }
+
+// Receiver returns the receiving half (for delivered-byte accounting).
+func (s *Sender) Receiver() *Receiver { return s.receiver }
+
+// SRTT exposes the smoothed RTT (for tests).
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// Start schedules the first transmission after the given delay.
+func (s *Sender) Start(after sim.Time) {
+	s.startEv = s.eng.After(after, func() { s.trySend() })
+}
+
+// Stop halts a long-lived flow: timers are cancelled and the handlers
+// unregistered.
+func (s *Sender) Stop() {
+	s.done = true
+	s.rtoEv.Cancel()
+	s.pacedEv.Cancel()
+	s.startEv.Cancel()
+	s.src.Unregister(s.flow)
+	s.dst.Unregister(s.flow)
+}
+
+// remaining reports whether there are new bytes left to send within the
+// receive window.
+func (s *Sender) remaining() bool {
+	if s.nextSeq-s.cumAck >= rwndBytes {
+		return false
+	}
+	return s.size == 0 || s.nextSeq < s.size
+}
+
+// segPayload returns the payload length of the segment starting at seq.
+func (s *Sender) segPayload(seq int64) int {
+	if s.size == 0 {
+		return s.opt.MSS
+	}
+	left := s.size - seq
+	if left > int64(s.opt.MSS) {
+		return s.opt.MSS
+	}
+	return int(left)
+}
+
+// trySend transmits retransmissions first, then new segments, while the
+// pipe estimate stays under the congestion window.
+func (s *Sender) trySend() {
+	if s.done {
+		return
+	}
+	w := s.alg.Cwnd()
+	if w >= 1 {
+		now := s.eng.Now()
+		for float64(s.pipe) < w {
+			if now < s.nextPaced {
+				s.pacedEv.Cancel()
+				s.pacedEv = s.eng.At(s.nextPaced, s.trySend)
+				return
+			}
+			var sent int
+			if seq, ok := s.popRtx(); ok {
+				s.sendSegment(seq, true)
+				sent = s.segPayload(seq) + packet.HeaderBytes
+			} else if s.remaining() {
+				sent = s.segPayload(s.nextSeq) + packet.HeaderBytes
+				s.sendSegment(s.nextSeq, false)
+				s.nextSeq += int64(s.segPayload(s.nextSeq))
+			} else {
+				return
+			}
+			if d := s.paceDelay(sent, w); d > 0 {
+				s.nextPaced = now + d
+			}
+		}
+		return
+	}
+	// Fractional window: at most one segment in flight, paced at one
+	// segment every RTT/cwnd.
+	if s.pipe > 0 {
+		return
+	}
+	now := s.eng.Now()
+	if now < s.nextPaced {
+		s.pacedEv.Cancel()
+		s.pacedEv = s.eng.At(s.nextPaced, s.trySend)
+		return
+	}
+	if seq, ok := s.popRtx(); ok {
+		s.sendSegment(seq, true)
+	} else if s.remaining() {
+		s.sendSegment(s.nextSeq, false)
+		s.nextSeq += int64(s.segPayload(s.nextSeq))
+	} else {
+		return
+	}
+	rtt := s.srtt
+	if rtt <= 0 {
+		rtt = 100 * sim.Microsecond
+	}
+	s.nextPaced = now + sim.Time(float64(rtt)/w)
+}
+
+// paceDelay returns the inter-segment spacing at 1.25x the cwnd/srtt rate,
+// or 0 before an RTT estimate exists.
+func (s *Sender) paceDelay(sizeBytes int, w float64) sim.Time {
+	if s.srtt <= 0 {
+		return 0
+	}
+	rate := 1.25 * w * float64(s.opt.MSS+packet.HeaderBytes) / float64(s.srtt)
+	if rate <= 0 {
+		return 0
+	}
+	return sim.Time(float64(sizeBytes) / rate)
+}
+
+// popRtx returns the next scoreboard-lost segment, skipping entries that
+// have since been SACKed or cumulatively acknowledged.
+func (s *Sender) popRtx() (int64, bool) {
+	for len(s.rtxQ) > 0 {
+		seq := s.rtxQ[0]
+		s.rtxQ = s.rtxQ[1:]
+		if seq >= s.cumAck && s.state[seq] == stLost {
+			return seq, true
+		}
+	}
+	return 0, false
+}
+
+// sendSegment emits the segment at seq and charges the pipe.
+func (s *Sender) sendSegment(seq int64, retx bool) {
+	p := packet.NewData(s.src.ID(), s.dst.ID(), s.flow, seq, s.segPayload(seq))
+	p.SentAt = s.eng.Now()
+	p.EcnCapable = s.opt.EcnCapable
+	p.IngressAQ = s.opt.IngressAQ
+	p.EgressAQ = s.opt.EgressAQ
+	p.Retransmit = retx
+	s.SentPackets++
+	s.pipe++
+	if retx {
+		s.Retransmits++
+		s.state[seq] = stRetx
+		if seq == s.cumAck {
+			s.frontRetxAt = s.eng.Now()
+		}
+	}
+	s.src.Send(p)
+	// The RTO is anchored at the oldest outstanding segment: arm it only
+	// when no timer is pending, so a steady stream of new sends cannot
+	// push it out forever.
+	if !s.rtoPending {
+		s.armRTO()
+	}
+}
+
+// markLost transitions an in-flight segment to lost and queues it for
+// retransmission. Idempotent.
+func (s *Sender) markLost(seq int64) {
+	st := s.state[seq]
+	if st == stSacked || st == stLost {
+		return
+	}
+	// In-flight (absent) and retransmitted segments both leave the pipe.
+	s.state[seq] = stLost
+	s.pipe--
+	if s.pipe < 0 {
+		s.pipe = 0
+	}
+	s.rtxQ = append(s.rtxQ, seq)
+}
+
+// noteSack records the out-of-order information carried by an ACK.
+func (s *Sender) noteSack(p *packet.Packet) {
+	seq := p.EchoSeq
+	if seq >= s.cumAck {
+		switch s.state[seq] {
+		case stSacked:
+			// already accounted
+		case stLost:
+			s.state[seq] = stSacked // pipe already decremented
+		default: // in flight or retransmitted
+			s.state[seq] = stSacked
+			s.pipe--
+			if s.pipe < 0 {
+				s.pipe = 0
+			}
+		}
+	}
+	if edge := seq + int64(s.opt.MSS); edge > s.fack {
+		s.fack = edge
+	}
+	s.advanceLossScan()
+}
+
+// advanceLossScan classifies segments more than dupAckThresh below the
+// highest SACKed edge as lost (the FACK rule of RFC 6675).
+func (s *Sender) advanceLossScan() {
+	mss := int64(s.opt.MSS)
+	upper := s.fack - dupAckThresh*mss
+	if upper > s.nextSeq {
+		upper = s.nextSeq
+	}
+	seq := s.lossScan
+	if seq < s.cumAck {
+		seq = s.cumAck
+	}
+	for ; seq < upper; seq += mss {
+		s.markLost(seq)
+	}
+	if seq > s.lossScan {
+		s.lossScan = seq
+	}
+}
+
+// armRTO (re)schedules the retransmission timer.
+func (s *Sender) armRTO() {
+	s.rtoEv.Cancel()
+	timeout := s.rto << s.backoff
+	if timeout > rtoMax {
+		timeout = rtoMax
+	}
+	s.rtoPending = true
+	s.rtoEv = s.eng.After(timeout, s.onTimeout)
+}
+
+// cancelRTO stops the pending timer.
+func (s *Sender) cancelRTO() {
+	s.rtoEv.Cancel()
+	s.rtoPending = false
+}
+
+// onTimeout handles a retransmission timeout: every unsacked outstanding
+// segment is presumed lost, the pipe is reset, and transmission restarts
+// from the front under the collapsed window.
+func (s *Sender) onTimeout() {
+	s.rtoPending = false
+	if s.done || s.nextSeq == s.cumAck {
+		return
+	}
+	s.Timeouts++
+	s.backoff++
+	s.alg.OnTimeout(s.eng.Now())
+	s.dupacks = 0
+	s.inRecovery = false
+	mss := int64(s.opt.MSS)
+	s.rtxQ = s.rtxQ[:0]
+	s.pipe = 0
+	for seq := s.cumAck; seq < s.nextSeq; seq += mss {
+		if s.state[seq] != stSacked {
+			s.state[seq] = stLost
+			s.rtxQ = append(s.rtxQ, seq)
+		}
+	}
+	s.trySend()
+}
+
+// Handle processes an incoming ACK (the sender is registered as the flow
+// handler on the source host).
+func (s *Sender) Handle(p *packet.Packet) {
+	if p.Kind != packet.Ack || s.done {
+		return
+	}
+	now := s.eng.Now()
+	s.noteSack(p)
+	if p.Ack > s.cumAck {
+		s.onNewAck(now, p)
+		return
+	}
+	// Duplicate ACK.
+	if s.pipe == 0 && len(s.rtxQ) == 0 {
+		return
+	}
+	s.dupacks++
+	if s.dupacks == dupAckThresh {
+		// The front hole is certainly lost. Marking only at exactly the
+		// threshold (not above) avoids instantly re-marking a front
+		// retransmission that is still in flight.
+		s.markLost(s.cumAck)
+		// One CC reduction per loss event (RFC 6582 recover guard).
+		if !s.inRecovery && s.cumAck >= s.recoverSeq {
+			s.inRecovery = true
+			s.recoverSeq = s.nextSeq
+			s.FastRecovers++
+			s.alg.OnLoss(now)
+		}
+	} else if s.dupacks > dupAckThresh && s.state[s.cumAck] == stRetx {
+		// Rescue retransmission: the front retransmission itself appears
+		// lost (duplicate ACKs keep arriving well past an RTT since it was
+		// sent). Re-mark it so recovery does not stall until the RTO.
+		wait := 2 * s.srtt
+		if wait < 100*sim.Microsecond {
+			wait = 100 * sim.Microsecond
+		}
+		if now-s.frontRetxAt > wait {
+			s.state[s.cumAck] = 0 // force the lost transition
+			s.markLost(s.cumAck)
+		}
+	}
+	s.trySend()
+}
+
+// onNewAck processes a cumulative advance.
+func (s *Sender) onNewAck(now sim.Time, p *packet.Packet) {
+	acked := int(p.Ack - s.cumAck)
+	mss := int64(s.opt.MSS)
+	for seq := s.cumAck; seq < p.Ack; seq += mss {
+		// In-flight and retransmitted segments leave the pipe; sacked and
+		// lost ones were already removed when they changed state.
+		if st := s.state[seq]; st != stSacked && st != stLost {
+			s.pipe--
+		}
+		delete(s.state, seq)
+	}
+	if s.pipe < 0 {
+		s.pipe = 0
+	}
+	s.cumAck = p.Ack
+	if s.lossScan < p.Ack {
+		s.lossScan = p.Ack
+	}
+	s.dupacks = 0
+	s.backoff = 0
+	rtt := s.updateRTT(now, p)
+	s.alg.OnAck(cc.Ack{
+		Now:   now,
+		RTT:   rtt,
+		Delay: s.delaySignal(rtt, p),
+		ECE:   p.EcnEcho,
+		Bytes: acked,
+		MSS:   s.opt.MSS,
+	})
+	if s.inRecovery && s.cumAck >= s.recoverSeq {
+		s.inRecovery = false
+	}
+	if s.size != 0 && s.cumAck >= s.size {
+		s.complete(now)
+		return
+	}
+	if s.nextSeq > s.cumAck {
+		s.armRTO() // restart: the timer tracks the oldest outstanding data
+	} else {
+		s.cancelRTO()
+	}
+	s.trySend()
+}
+
+// updateRTT folds a new sample into srtt/rttvar (RFC 6298 smoothing) and
+// returns the sample.
+func (s *Sender) updateRTT(now sim.Time, p *packet.Packet) sim.Time {
+	if p.EchoSentAt <= 0 {
+		return 0
+	}
+	sample := now - p.EchoSentAt
+	if sample <= 0 {
+		return 0
+	}
+	if s.minRTT == 0 || sample < s.minRTT {
+		s.minRTT = sample
+	}
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.opt.RTOMin {
+		s.rto = s.opt.RTOMin
+	}
+	return sample
+}
+
+// delaySignal computes the fabric-delay feedback for delay-based CC: the
+// physical queuing delay accumulated by the data packet (echoed) and by
+// the ACK itself — the NIC-timestamp measurement Swift relies on — plus
+// the virtual queuing delay stamped by AQs along the path (§3.3.2).
+func (s *Sender) delaySignal(_ sim.Time, p *packet.Packet) sim.Time {
+	return p.EchoQueueDelay + p.QueueDelay + p.EchoVirtualDelay
+}
+
+func (s *Sender) complete(now sim.Time) {
+	s.done = true
+	s.rtoEv.Cancel()
+	s.pacedEv.Cancel()
+	s.src.Unregister(s.flow)
+	s.dst.Unregister(s.flow)
+	if s.OnComplete != nil {
+		s.OnComplete(now)
+	}
+}
+
+// Receiver is the receiving half of a flow: it reassembles the byte stream
+// cumulatively and acknowledges every new data segment, echoing the ECN
+// mark, the send timestamp, the segment sequence (one-block SACK) and the
+// accumulated virtual delay.
+type Receiver struct {
+	s   *Sender
+	cum int64
+	ooo map[int64]int // out-of-order segments: seq -> payload
+
+	// Delivered counts in-order delivered payload bytes.
+	Delivered int64
+	// RxData counts all data segments seen (including duplicates).
+	RxData uint64
+}
+
+func newReceiver(s *Sender) *Receiver {
+	return &Receiver{s: s, ooo: make(map[int64]int)}
+}
+
+// Handle processes an incoming data segment.
+func (r *Receiver) Handle(p *packet.Packet) {
+	if p.Kind != packet.Data {
+		return
+	}
+	r.RxData++
+	if p.Seq+int64(p.Payload) <= r.cum {
+		// A fully duplicate segment (a spurious retransmission): acking it
+		// would feed duplicate-ACK storms at the sender, so stay silent —
+		// the moral equivalent of D-SACK suppression.
+		return
+	}
+	switch {
+	case p.Seq == r.cum:
+		r.cum += int64(p.Payload)
+		for {
+			pl, ok := r.ooo[r.cum]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.cum)
+			r.cum += int64(pl)
+		}
+	case p.Seq > r.cum:
+		r.ooo[p.Seq] = p.Payload
+	}
+	r.Delivered = r.cum
+	ack := packet.NewAck(r.s.dst.ID(), r.s.src.ID(), p.Flow, r.cum)
+	ack.EcnEcho = p.CE
+	ack.EchoSentAt = p.SentAt
+	ack.EchoVirtualDelay = p.VirtualDelay
+	ack.EchoQueueDelay = p.QueueDelay
+	ack.EchoSeq = p.Seq
+	r.s.dst.Send(ack)
+}

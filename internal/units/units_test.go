@@ -1,0 +1,70 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesPerNano(t *testing.T) {
+	// 10 Gbps = 10e9 bits/s = 1.25e9 bytes/s = 1.25 bytes/ns.
+	if got := (10 * Gbps).BytesPerNano(); got != 1.25 {
+		t.Fatalf("10Gbps BytesPerNano = %v, want 1.25", got)
+	}
+	if got := (8 * BitPerSecond).BytesPerNano(); got != 1e-9 {
+		t.Fatalf("8bps BytesPerNano = %v, want 1e-9", got)
+	}
+}
+
+func TestTransmitNanos(t *testing.T) {
+	// 1500 bytes at 10 Gbps: 12000 bits / 10e9 bps = 1.2us = 1200ns.
+	if got := (10 * Gbps).TransmitNanos(1500); got != 1200 {
+		t.Fatalf("1500B@10G = %dns, want 1200", got)
+	}
+	// 1 byte at 1 Gbps = 8ns exactly.
+	if got := (1 * Gbps).TransmitNanos(1); got != 8 {
+		t.Fatalf("1B@1G = %dns, want 8", got)
+	}
+	// Rounds up: 1 byte at 3 Gbps = 2.66..ns -> 3ns.
+	if got := (3 * Gbps).TransmitNanos(1); got != 3 {
+		t.Fatalf("1B@3G = %dns, want 3", got)
+	}
+	if got := BitRate(0).TransmitNanos(100); got != 0 {
+		t.Fatalf("zero rate transmit = %d, want 0", got)
+	}
+	if got := (1 * Gbps).TransmitNanos(0); got != 0 {
+		t.Fatalf("zero size transmit = %d, want 0", got)
+	}
+}
+
+func TestTransmitNanosNeverUnderestimates(t *testing.T) {
+	// Property: the reported serialization time is always enough to carry
+	// the packet at the stated rate (no early finish).
+	f := func(size uint16, rateMbps uint16) bool {
+		if size == 0 || rateMbps == 0 {
+			return true
+		}
+		r := BitRate(rateMbps) * Mbps
+		ns := r.TransmitNanos(int(size))
+		carried := float64(ns) * r.BytesPerNano()
+		return carried >= float64(size)-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := map[BitRate]string{
+		10 * Gbps:  "10Gbps",
+		2.5 * Gbps: "2.5Gbps",
+		100 * Mbps: "100Mbps",
+		1 * Kbps:   "1Kbps",
+		512:        "512bps",
+		1 * Tbps:   "1Tbps",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", float64(in), got, want)
+		}
+	}
+}

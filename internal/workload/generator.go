@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"aqueue/internal/cc"
+	"aqueue/internal/sim"
+	"aqueue/internal/stats"
+	"aqueue/internal/topo"
+	"aqueue/internal/transport"
+	"aqueue/internal/units"
+)
+
+// Entity describes one traffic entity (a distributed application, a CC
+// class, or a VM group) running a batch of trace flows. The traffic pattern
+// is arbitrary: each flow picks a uniform random source VM from Sources and
+// destination from Dests.
+type Entity struct {
+	Name    string
+	Sources []*topo.Host
+	Dests   []*topo.Host
+	// CC builds the congestion controller for each flow.
+	CC cc.Factory
+	// Opt is applied to every flow (AQ tags, ECN capability, MSS).
+	Opt transport.Options
+	// Tracker accumulates completion statistics; allocated by Generate if
+	// nil.
+	Tracker *stats.FCT
+}
+
+// Batch describes one generated workload: a number of flows drawn from a
+// size distribution, arriving as a Poisson process at the given offered
+// load relative to a reference rate.
+type Batch struct {
+	Flows  int
+	Sizes  Sizer
+	Load   float64       // fraction of RefRate offered on average
+	Ref    units.BitRate // reference rate (the bottleneck)
+	Seed   uint64
+	Jitter sim.Time // extra uniform start offset per flow (optional)
+}
+
+// Generate schedules the batch for the entity on the engine. Flows start by
+// Poisson arrivals with mean inter-arrival = meanSize/(Load·Ref); each
+// records completion into the entity's tracker. The returned senders allow
+// inspection after the run.
+func Generate(eng *sim.Engine, e *Entity, b Batch) []*transport.Sender {
+	if e.Tracker == nil {
+		e.Tracker = &stats.FCT{}
+	}
+	r := sim.NewRand(b.Seed)
+	mean := 1.0
+	if s, ok := b.Sizes.(interface{ MeanBytes() float64 }); ok {
+		mean = s.MeanBytes()
+	} else {
+		mean = float64(b.Sizes.Sample(r))
+	}
+	loadRate := b.Load * float64(b.Ref) / 8 // bytes per second offered
+	meanGap := sim.Time(mean / loadRate * 1e9)
+	if meanGap < 1 {
+		meanGap = 1
+	}
+	senders := make([]*transport.Sender, 0, b.Flows)
+	at := sim.Time(0)
+	for i := 0; i < b.Flows; i++ {
+		at += r.ExpTime(meanGap)
+		start := at
+		if b.Jitter > 0 {
+			start += sim.Time(r.Uint64() % uint64(b.Jitter))
+		}
+		src := e.Sources[r.Intn(len(e.Sources))]
+		dst := e.Dests[r.Intn(len(e.Dests))]
+		size := b.Sizes.Sample(r)
+		if size < 1 {
+			size = 1
+		}
+		s := transport.NewSender(src, dst, size, e.CC(), e.Opt)
+		tr := e.Tracker
+		st := start
+		s.OnComplete = func(now sim.Time) { tr.FlowDone(st, now) }
+		tr.FlowStarted(size)
+		s.Start(start)
+		senders = append(senders, s)
+	}
+	return senders
+}

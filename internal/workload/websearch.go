@@ -1,0 +1,74 @@
+// Package workload regenerates the paper's traffic: the web-search flow
+// size distribution (the DCTCP trace used by §5.1), Poisson flow arrivals,
+// and the "arbitrary traffic pattern" in which any VM of an entity sends to
+// any destination VM with arbitrary volume at arbitrary times.
+package workload
+
+import (
+	"aqueue/internal/sim"
+)
+
+// cdfPoint is one knot of a piecewise-linear CDF over flow sizes.
+type cdfPoint struct {
+	bytes float64
+	prob  float64
+}
+
+// webSearchCDF is the flow-size distribution of the production web-search
+// workload published with DCTCP [4], as commonly tabulated for NS3
+// reproductions: a heavy mix of small (<100 KB) query traffic and
+// multi-megabyte background flows.
+var webSearchCDF = []cdfPoint{
+	{6_000, 0.15},
+	{13_000, 0.20},
+	{19_000, 0.30},
+	{33_000, 0.40},
+	{53_000, 0.53},
+	{133_000, 0.60},
+	{667_000, 0.70},
+	{1_467_000, 0.80},
+	{3_333_000, 0.90},
+	{6_667_000, 0.97},
+	{20_000_000, 1.00},
+}
+
+// Sizer samples flow sizes in bytes.
+type Sizer interface {
+	Sample(r *sim.Rand) int64
+}
+
+// WebSearch samples the web-search distribution by inverse-transform over
+// the piecewise-linear CDF.
+type WebSearch struct{}
+
+// Sample implements Sizer.
+func (WebSearch) Sample(r *sim.Rand) int64 {
+	u := r.Float64()
+	prevB, prevP := 1000.0, 0.0
+	for _, pt := range webSearchCDF {
+		if u <= pt.prob {
+			frac := (u - prevP) / (pt.prob - prevP)
+			return int64(prevB + frac*(pt.bytes-prevB))
+		}
+		prevB, prevP = pt.bytes, pt.prob
+	}
+	return int64(webSearchCDF[len(webSearchCDF)-1].bytes)
+}
+
+// MeanBytes returns the analytic mean of the distribution, used to convert
+// an offered load fraction into a Poisson arrival rate.
+func (WebSearch) MeanBytes() float64 {
+	prevB, prevP := 1000.0, 0.0
+	mean := 0.0
+	for _, pt := range webSearchCDF {
+		mean += (pt.prob - prevP) * (prevB + pt.bytes) / 2
+		prevB, prevP = pt.bytes, pt.prob
+	}
+	return mean
+}
+
+// Fixed always samples the same size; used by tests and microbenchmarks.
+type Fixed int64
+
+// Sample implements Sizer.
+func (f Fixed) Sample(*sim.Rand) int64 { return int64(f) }
