@@ -1,98 +1,191 @@
 // Command aqsim runs the paper's experiments and prints the tables and
 // series of §5 (plus the motivating Figure 1 and conceptual Figure 3).
+// Experiments are dispatched from the harness registry, run on a worker
+// pool (each run owns its engine, so parallel batches are byte-identical
+// to sequential ones), and optionally serialized to JSON.
 //
 // Usage:
 //
-//	aqsim -experiment all            # everything (slow)
-//	aqsim -experiment table2         # one experiment
-//	aqsim -experiment fig6 -quick    # reduced workload for a fast look
-//
-// Experiments: fig1 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// table2 table3 table4 all
+//	aqsim -list                               # show registered experiments
+//	aqsim -experiment all                     # everything (slow)
+//	aqsim -experiment table2                  # one experiment
+//	aqsim -experiment fig6,fig7 -quick        # reduced workload, two experiments
+//	aqsim -experiment all -parallel 8         # saturate 8 workers
+//	aqsim -experiment all -json out.json      # machine-readable results
+//	aqsim -experiment fig6 -seeds 1,2,3       # multi-seed sweep
+//	aqsim -bench -quick                       # regenerate BENCH_harness.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"aqueue/internal/experiments"
-	"aqueue/internal/sim"
+	"aqueue/internal/harness"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (fig1..fig12, table2..table4, all)")
+	exp := flag.String("experiment", "all", "experiment name, comma list, or all")
 	quick := flag.Bool("quick", false, "use reduced horizons/workloads")
-	format := flag.String("format", "text", "output format: text|csv")
+	format := flag.String("format", "text", "output format: text|csv|none")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	seeds := flag.String("seeds", "", "comma-separated seeds for a multi-seed sweep (overrides -seed)")
+	parallel := flag.Int("parallel", 1, "concurrent runs (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write a JSON results report to this path")
+	list := flag.Bool("list", false, "list registered experiments and exit")
+	bench := flag.Bool("bench", false, "run the benchmark mode (sequential vs parallel) and write -benchout")
+	benchOut := flag.String("benchout", "BENCH_harness.json", "path of the benchmark record written by -bench")
 	flag.Parse()
-	outputFormat = *format
 
-	horizon := 400 * sim.Millisecond
-	flows := 150
-	if *quick {
-		horizon = 120 * sim.Millisecond
-		flows = 40
+	switch *format {
+	case "text", "csv", "none":
+	default:
+		fatalf("bad -format %q: want text, csv, or none", *format)
 	}
 
-	runners := map[string]func(){
-		"fig1": func() { show(experiments.Fig1(horizon)) },
-		"fig3": func() { show(experiments.Fig3Table(8)) },
-		"fig6": func() { show(experiments.Fig6(nil, flows, *seed)) },
-		"fig7": func() { show(experiments.Fig7(nil, flows, *seed)) },
-		"fig8": func() { show(experiments.Fig8(nil, horizon)) },
-		"fig9": func() {
-			a, b := experiments.Fig9(horizon / 4)
-			show(a)
-			show(b)
-		},
-		"fig10": func() {
-			a, b := experiments.Fig10(flows, *seed)
-			show(a)
-			show(b)
-		},
-		"fig11":  func() { show(experiments.Fig11()) },
-		"fig12":  func() { show(experiments.Fig12()) },
-		"table2": func() { show(experiments.Table2(horizon)) },
-		"table3": func() { show(experiments.Table3()) },
-		"table4": func() {
-			t, _ := experiments.Table4()
-			show(t)
-		},
-		"extfabric": func() { show(experiments.ExtFabric(horizon)) },
-		"extqueues": func() { show(experiments.ExtPerQueueTable(horizon)) },
-	}
-	order := []string{"fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "table2", "table3", "table4", "extfabric", "extqueues"}
-
-	if *exp == "all" {
-		for _, name := range order {
-			timed(name, runners[name])
+	if *list {
+		for _, name := range harness.Names() {
+			fmt.Printf("%-10s %s\n", name, experiments.Description(name))
 		}
 		return
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: %v, all\n", *exp, order)
-		os.Exit(2)
+
+	names := harness.Names()
+	if *exp != "all" {
+		names = splitList(*exp)
 	}
-	timed(*exp, run)
-}
+	base := experiments.DefaultParams(*quick)
+	base.Seed = *seed
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		fatalf("bad -seeds: %v", err)
+	}
 
-var outputFormat = "text"
+	jobs, err := harness.Jobs(names, seedList, base)
+	if err != nil {
+		fatalf("%v (use -list to see the registry)", err)
+	}
 
-func show(t *experiments.Table) {
-	if outputFormat == "csv" {
-		fmt.Print(t.CSV())
-		fmt.Println()
+	if *bench {
+		runBench(jobs, *parallel, *benchOut)
 		return
 	}
-	fmt.Println(t.Render())
+
+	pool := &harness.Pool{Workers: *parallel}
+	start := time.Now()
+	results := pool.Run(jobs)
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		printResult(r, *format)
+		if r.Error != "" {
+			failed++
+		}
+	}
+	if len(results) > 1 {
+		fmt.Printf("[%d runs in %v, %d workers]\n", len(results), elapsed.Round(time.Millisecond), effectiveWorkers(*parallel, len(jobs)))
+	}
+	if *jsonOut != "" {
+		report := harness.NewReport(effectiveWorkers(*parallel, len(jobs)), results)
+		if err := report.WriteJSONFile(*jsonOut); err != nil {
+			fatalf("writing %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("[results written to %s]\n", *jsonOut)
+	}
+	if failed > 0 {
+		fatalf("%d of %d runs failed", failed, len(results))
+	}
 }
 
-func timed(name string, fn func()) {
-	start := time.Now()
-	fn()
-	fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+// runBench executes the batch sequentially and in parallel, prints the
+// comparison, and writes the machine-readable record.
+func runBench(jobs []harness.Job, parallel int, path string) {
+	workers := effectiveWorkers(parallel, len(jobs))
+	fmt.Printf("benchmark: %d jobs, sequential then %d workers (GOMAXPROCS=%d)\n",
+		len(jobs), workers, runtime.GOMAXPROCS(0))
+	b := harness.RunBench(jobs, workers)
+	fmt.Printf("sequential: %v\n", time.Duration(b.SequentialNS).Round(time.Millisecond))
+	fmt.Printf("parallel:   %v (speedup %.2fx, identical=%v)\n",
+		time.Duration(b.ParallelNS).Round(time.Millisecond), b.Speedup, b.Identical)
+	if err := b.WriteJSONFile(path); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Printf("[benchmark written to %s]\n", path)
+	if !b.Identical {
+		fatalf("parallel results differ from sequential — determinism regression")
+	}
+}
+
+func printResult(r *harness.Result, format string) {
+	if r.Error != "" {
+		fmt.Fprintf(os.Stderr, "[%s seed=%d FAILED: %s]\n\n", r.Name, r.Params.Seed, firstLine(r.Error))
+		return
+	}
+	switch format {
+	case "csv":
+		for _, t := range r.Tables {
+			fmt.Print(t.CSV())
+			fmt.Println()
+		}
+	case "none":
+	default:
+		for _, t := range r.Tables {
+			fmt.Println(t.Render())
+		}
+	}
+	fmt.Printf("[%s seed=%d done in %v]\n\n", r.Name, r.Params.Seed,
+		time.Duration(r.WallNS).Round(time.Millisecond))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func effectiveWorkers(parallel, jobs int) int {
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > jobs {
+		parallel = jobs
+	}
+	return parallel
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }

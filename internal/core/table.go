@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
@@ -23,10 +24,31 @@ type Table struct {
 	// AQ processing entirely (work-conserving mode, §6).
 	Bypass func(p *packet.Packet) bool
 
-	// Counters.
-	Lookups  uint64
-	Misses   uint64
-	Bypassed uint64
+	// Counters. Atomic because a table may be observed from outside its
+	// simulation goroutine: the control-plane server reports tables over
+	// TCP while traffic flows, and the parallel experiment harness snapshots
+	// them after concurrent runs.
+	lookups  atomic.Uint64
+	misses   atomic.Uint64
+	bypassed atomic.Uint64
+}
+
+// TableStats is a consistent-enough snapshot of the table's counters
+// (each counter is read atomically; the set is not fenced as a group,
+// which is fine for reporting).
+type TableStats struct {
+	Lookups  uint64 `json:"lookups"`
+	Misses   uint64 `json:"misses"`
+	Bypassed uint64 `json:"bypassed"`
+}
+
+// Stats returns a snapshot of the lookup/miss/bypass counters.
+func (t *Table) Stats() TableStats {
+	return TableStats{
+		Lookups:  t.lookups.Load(),
+		Misses:   t.misses.Load(),
+		Bypassed: t.bypassed.Load(),
+	}
 }
 
 // NewTable returns an empty AQ table.
@@ -69,13 +91,13 @@ func (t *Table) Process(now sim.Time, id packet.AQID, p *packet.Packet) Verdict 
 		return Pass
 	}
 	if t.Bypass != nil && t.Bypass(p) {
-		t.Bypassed++
+		t.bypassed.Add(1)
 		return Pass
 	}
-	t.Lookups++
+	t.lookups.Add(1)
 	aq := t.aqs[id]
 	if aq == nil {
-		t.Misses++
+		t.misses.Add(1)
 		return Pass
 	}
 	return aq.Process(now, p)
@@ -91,5 +113,6 @@ const BytesPerAQ = 15
 
 // String summarises the table.
 func (t *Table) String() string {
-	return fmt.Sprintf("aq.Table{%d AQs, %d lookups, %d misses}", len(t.aqs), t.Lookups, t.Misses)
+	s := t.Stats()
+	return fmt.Sprintf("aq.Table{%d AQs, %d lookups, %d misses}", len(t.aqs), s.Lookups, s.Misses)
 }

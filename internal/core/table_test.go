@@ -30,7 +30,7 @@ func TestTableProcessUntaggedPasses(t *testing.T) {
 	if tbl.Process(0, packet.NoAQ, p) != Pass {
 		t.Fatal("untagged packet did not pass")
 	}
-	if tbl.Lookups != 0 {
+	if tbl.Stats().Lookups != 0 {
 		t.Fatal("untagged packet hit the table")
 	}
 }
@@ -41,8 +41,8 @@ func TestTableProcessMissPasses(t *testing.T) {
 	if tbl.Process(0, 42, p) != Pass {
 		t.Fatal("miss should pass")
 	}
-	if tbl.Misses != 1 {
-		t.Fatalf("Misses = %d, want 1", tbl.Misses)
+	if got := tbl.Stats().Misses; got != 1 {
+		t.Fatalf("Misses = %d, want 1", got)
 	}
 }
 
@@ -64,12 +64,41 @@ func TestTableBypass(t *testing.T) {
 	if tbl.Process(0, 9, p) != Pass {
 		t.Fatal("bypass did not skip AQ processing")
 	}
-	if tbl.Bypassed != 1 {
-		t.Fatalf("Bypassed = %d, want 1", tbl.Bypassed)
+	if got := tbl.Stats().Bypassed; got != 1 {
+		t.Fatalf("Bypassed = %d, want 1", got)
 	}
 	bypass = false
 	if tbl.Process(0, 9, p) != Drop {
 		t.Fatal("AQ not enforced once bypass lifted")
+	}
+}
+
+// TestTableCountersConcurrent hammers Process from several goroutines and
+// reads Stats concurrently; run with -race this pins the counters'
+// thread-safety (the control-plane server and the parallel harness both
+// observe tables while traffic flows).
+func TestTableCountersConcurrent(t *testing.T) {
+	tbl := NewTable()
+	tbl.Deploy(Config{ID: 1, Rate: units.Gbps, Limit: 1 << 30})
+	const workers, perWorker = 4, 1000
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			p := packet.NewData(1, 2, 1, 0, 960)
+			for i := 0; i < perWorker; i++ {
+				tbl.Process(sim.Time(i), 1, p)
+				tbl.Process(sim.Time(i), 42, p) // miss
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		_ = tbl.Stats() // concurrent reads must not race
+		<-done
+	}
+	s := tbl.Stats()
+	if s.Lookups != 2*workers*perWorker || s.Misses != workers*perWorker {
+		t.Fatalf("Stats = %+v, want %d lookups, %d misses", s, 2*workers*perWorker, workers*perWorker)
 	}
 }
 

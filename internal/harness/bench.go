@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchSchema identifies the JSON layout of a Bench. Bump on any
+// incompatible change.
+const BenchSchema = "aqueue/harness-bench/v1"
+
+// BenchRun is the per-job timing of the parallel pass.
+type BenchRun struct {
+	Name   string `json:"name"`
+	Seed   uint64 `json:"seed"`
+	WallNS int64  `json:"wall_ns"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Bench records a sequential-vs-parallel execution of one batch: the perf
+// trajectory artifact (BENCH_harness.json) tracks SequentialNS,
+// ParallelNS, and Speedup across PRs.
+type Bench struct {
+	Schema       string  `json:"schema"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	Jobs         int     `json:"jobs"`
+	SequentialNS int64   `json:"sequential_ns"`
+	ParallelNS   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+	// Identical reports whether the parallel pass produced byte-identical
+	// tables and metrics to the sequential pass — the determinism check.
+	Identical bool       `json:"identical"`
+	Runs      []BenchRun `json:"runs"`
+}
+
+// RunBench executes jobs twice — once on a single worker, once on the
+// given worker count — and reports the timing ratio plus whether the two
+// passes produced identical results.
+func RunBench(jobs []Job, workers int) *Bench {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seqStart := time.Now()
+	seq := (&Pool{Workers: 1}).Run(jobs)
+	seqNS := time.Since(seqStart).Nanoseconds()
+
+	parStart := time.Now()
+	par := (&Pool{Workers: workers}).Run(jobs)
+	parNS := time.Since(parStart).Nanoseconds()
+
+	b := &Bench{
+		Schema:       BenchSchema,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		Jobs:         len(jobs),
+		SequentialNS: seqNS,
+		ParallelNS:   parNS,
+		Identical:    true,
+	}
+	if parNS > 0 {
+		b.Speedup = float64(seqNS) / float64(parNS)
+	}
+	for i, r := range par {
+		b.Runs = append(b.Runs, BenchRun{
+			Name:   r.Name,
+			Seed:   r.Params.Seed,
+			WallNS: r.WallNS,
+			Error:  r.Error,
+		})
+		if Fingerprint(r) != Fingerprint(seq[i]) {
+			b.Identical = false
+		}
+	}
+	return b
+}
+
+// Fingerprint digests everything deterministic about a result — name,
+// params, tables, metrics, error — and excludes wall time. Two runs of the
+// same (experiment, seed) must fingerprint identically regardless of what
+// else runs in the process.
+func Fingerprint(r *Result) string {
+	c := *r
+	c.WallNS = 0
+	buf, err := json.Marshal(&c)
+	if err != nil {
+		return "unmarshalable: " + err.Error()
+	}
+	return string(buf)
+}
+
+// WriteJSON writes the indented JSON form.
+func (b *Bench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteJSONFile writes the bench record to path (0644, truncating).
+func (b *Bench) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

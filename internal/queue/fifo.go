@@ -40,16 +40,19 @@ type FIFO struct {
 	DropHook func(*packet.Packet) // optional, observes drops
 }
 
-// queueSeq seeds each queue's AQM random stream distinctly while keeping
-// runs deterministic.
-var queueSeq uint64
-
 // New returns a FIFO with the given byte limit and ECN threshold (both in
 // bytes). limit <= 0 means unlimited; ecnThreshold <= 0 disables marking.
+// The AQM random stream starts from a fixed seed; owners that build many
+// queues derive distinct per-queue seeds from their engine and install
+// them with SetAQMSeed (process globals would make runs depend on what
+// else ran before or concurrently in the process).
 func New(limit, ecnThreshold int) *FIFO {
-	queueSeq++
-	return &FIFO{limit: limit, ecnKB: ecnThreshold, rng: sim.NewRand(0xA11CE + queueSeq*0x5bd1e995)}
+	return &FIFO{limit: limit, ecnKB: ecnThreshold, rng: sim.NewRand(0xA11CE)}
 }
+
+// SetAQMSeed reseeds the AQM drop/mark random stream. Call before any
+// traffic flows through the queue.
+func (q *FIFO) SetAQMSeed(seed uint64) { q.rng = sim.NewRand(seed) }
 
 // Limit returns the configured byte limit (<=0 when unlimited).
 func (q *FIFO) Limit() int { return q.limit }

@@ -69,6 +69,7 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	ids    map[string]uint64
 	// Processed counts events that have fired (not cancelled ones); it is
 	// exposed for benchmarks and sanity checks.
 	Processed uint64
@@ -81,6 +82,20 @@ func NewEngine() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// NextSeq returns the next value (1, 2, ...) of the named per-engine
+// sequence. Components derive identifiers and RNG seeds from these
+// sequences instead of process globals, so a run is fully determined by
+// its engine: two runs that build the same topology and schedule the same
+// events get identical IDs and random streams, no matter how many other
+// engines run before or concurrently with them.
+func (e *Engine) NextSeq(domain string) uint64 {
+	if e.ids == nil {
+		e.ids = make(map[string]uint64)
+	}
+	e.ids[domain]++
+	return e.ids[domain]
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a logic error in a discrete-event model.

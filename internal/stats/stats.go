@@ -47,8 +47,19 @@ func (m *Meter) Add(now sim.Time, n int) {
 // TotalBytes returns the bytes accounted so far.
 func (m *Meter) TotalBytes() uint64 { return m.total }
 
-// Gbps returns the average rate in Gbit/s over [from, to].
+// End returns the end of the metered range: the close of the last bucket
+// that received bytes (zero before any Add).
+func (m *Meter) End() sim.Time { return sim.Time(len(m.counts)) * m.bucket }
+
+// Gbps returns the average rate in Gbit/s over [from, to]. The window is
+// clamped to the metered range: a `to` past the end of the last recorded
+// bucket is pulled back to End(), so a run that stopped early reports the
+// rate over the interval it actually covered instead of a rate deflated
+// by empty tail buckets. A window entirely past the metered range is 0.
 func (m *Meter) Gbps(from, to sim.Time) float64 {
+	if end := m.End(); to > end {
+		to = end
+	}
 	if to <= from {
 		return 0
 	}
@@ -60,17 +71,42 @@ func (m *Meter) Gbps(from, to sim.Time) float64 {
 	return float64(sum) * 8 / (to - from).Seconds() / 1e9
 }
 
-// Series returns the per-bucket rates in Gbit/s for buckets [0, n).
+// Series returns the per-bucket rates in Gbit/s for buckets [0, n),
+// clamped to the metered range: at most len-of-metered-buckets entries are
+// returned, so a short run yields a short series rather than one padded
+// with zero-rate buckets that were never metered.
 func (m *Meter) Series(n int) []float64 {
+	if n > len(m.counts) {
+		n = len(m.counts)
+	}
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		var c uint64
-		if i < len(m.counts) {
-			c = m.counts[i]
-		}
-		out[i] = float64(c) * 8 / m.bucket.Seconds() / 1e9
+		out[i] = float64(m.counts[i]) * 8 / m.bucket.Seconds() / 1e9
 	}
 	return out
+}
+
+// MeterStats is the JSON-friendly summary of a Meter, used by the harness
+// when serializing experiment results.
+type MeterStats struct {
+	TotalBytes uint64  `json:"total_bytes"`
+	BucketNS   int64   `json:"bucket_ns"`
+	Buckets    int     `json:"buckets"`
+	FirstNS    int64   `json:"first_ns"`
+	LastNS     int64   `json:"last_ns"`
+	AvgGbps    float64 `json:"avg_gbps"`
+}
+
+// Stats summarises the meter over its metered range.
+func (m *Meter) Stats() MeterStats {
+	return MeterStats{
+		TotalBytes: m.total,
+		BucketNS:   int64(m.bucket),
+		Buckets:    len(m.counts),
+		FirstNS:    int64(m.first),
+		LastNS:     int64(m.last),
+		AvgGbps:    m.Gbps(0, m.End()),
+	}
 }
 
 // RateGbps converts a byte count over a duration into Gbit/s.
@@ -134,6 +170,29 @@ func (p *Percentiles) Mean() float64 {
 		sum += v
 	}
 	return sum / float64(len(p.samples))
+}
+
+// PercentileStats is the JSON-friendly summary of a Percentiles
+// distribution.
+type PercentileStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Stats summarises the distribution.
+func (p *Percentiles) Stats() PercentileStats {
+	return PercentileStats{
+		Count: p.Count(),
+		Mean:  p.Mean(),
+		P50:   p.Quantile(0.5),
+		P95:   p.Quantile(0.95),
+		P99:   p.Quantile(0.99),
+		Max:   p.Quantile(1),
+	}
 }
 
 // JainIndex computes Jain's fairness index over the given allocations:
@@ -209,3 +268,25 @@ func (f *FCT) MeanFCT() sim.Time { return sim.Time(f.fcts.Mean()) }
 
 // P99FCT returns the 99th-percentile flow completion time.
 func (f *FCT) P99FCT() sim.Time { return sim.Time(f.fcts.Quantile(0.99)) }
+
+// FCTStats is the JSON-friendly summary of an entity's flow completions.
+type FCTStats struct {
+	Started      int   `json:"started"`
+	Completed    int   `json:"completed"`
+	Bytes        int64 `json:"bytes"`
+	CompletionNS int64 `json:"completion_ns"`
+	MeanFCTNS    int64 `json:"mean_fct_ns"`
+	P99FCTNS     int64 `json:"p99_fct_ns"`
+}
+
+// Stats summarises the tracker.
+func (f *FCT) Stats() FCTStats {
+	return FCTStats{
+		Started:      f.Started,
+		Completed:    f.Completed,
+		Bytes:        f.Bytes,
+		CompletionNS: int64(f.LastDone),
+		MeanFCTNS:    int64(f.MeanFCT()),
+		P99FCTNS:     int64(f.P99FCT()),
+	}
+}

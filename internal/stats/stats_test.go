@@ -25,8 +25,45 @@ func TestMeterBuckets(t *testing.T) {
 	if math.Abs(s[1]-0.032) > 1e-9 {
 		t.Fatalf("bucket 1 = %v", s[1])
 	}
-	if s[2] != 0 {
-		t.Fatalf("bucket 2 = %v", s[2])
+	// Bucket 2 was never metered: Series clamps to the metered range
+	// instead of padding with zero-rate buckets.
+	if len(s) != 2 {
+		t.Fatalf("len(Series(3)) = %d, want 2 (clamped to metered range)", len(s))
+	}
+}
+
+func TestMeterGbpsClampsToMeteredRange(t *testing.T) {
+	m := NewMeter(sim.Millisecond)
+	for i := 0; i < 5; i++ {
+		m.Add(sim.Time(i)*sim.Millisecond, 1250_000) // 10 Gbps per ms bucket
+	}
+	// The run stopped at 5 ms; asking for the rate up to 10 ms must not
+	// halve the answer by averaging over 5 ms of never-metered tail.
+	if got := m.Gbps(0, 10*sim.Millisecond); math.Abs(got-10) > 0.01 {
+		t.Fatalf("Gbps over-long window = %v, want 10 (clamped)", got)
+	}
+	if m.End() != 5*sim.Millisecond {
+		t.Fatalf("End = %v, want 5ms", m.End())
+	}
+	// A window entirely past the metered range has no data at all.
+	if got := m.Gbps(6*sim.Millisecond, 10*sim.Millisecond); got != 0 {
+		t.Fatalf("Gbps past metered range = %v, want 0", got)
+	}
+}
+
+func TestMeterStatsJSONFriendly(t *testing.T) {
+	m := NewMeter(sim.Millisecond)
+	m.Add(100, 1000)
+	m.Add(1_500_000, 3000)
+	s := m.Stats()
+	if s.TotalBytes != 4000 || s.Buckets != 2 || s.BucketNS != int64(sim.Millisecond) {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.FirstNS != 100 || s.LastNS != 1_500_000 {
+		t.Fatalf("Stats range = %+v", s)
+	}
+	if math.Abs(s.AvgGbps-m.Gbps(0, m.End())) > 1e-12 {
+		t.Fatalf("AvgGbps = %v", s.AvgGbps)
 	}
 }
 
@@ -175,5 +212,34 @@ func TestFCTTracking(t *testing.T) {
 	// FCTs are 10ms and 25ms; mean 17.5ms.
 	if got := f.MeanFCT(); got != sim.Time(17_500_000) {
 		t.Fatalf("mean FCT = %v", got)
+	}
+}
+
+func TestPercentileStats(t *testing.T) {
+	var p Percentiles
+	for i := 1; i <= 100; i++ {
+		p.Add(float64(i))
+	}
+	s := p.Stats()
+	if s.Count != 100 || s.Max != 100 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 || math.Abs(s.P50-50.5) > 1e-9 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestFCTStats(t *testing.T) {
+	var f FCT
+	f.FlowStarted(1000)
+	f.FlowStarted(2000)
+	f.FlowDone(0, 10*sim.Millisecond)
+	f.FlowDone(0, 30*sim.Millisecond)
+	s := f.Stats()
+	if s.Started != 2 || s.Completed != 2 || s.Bytes != 3000 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.CompletionNS != int64(30*sim.Millisecond) || s.MeanFCTNS != int64(20*sim.Millisecond) {
+		t.Fatalf("Stats = %+v", s)
 	}
 }

@@ -48,15 +48,13 @@ func DefaultTestbed() LinkSpec {
 	}
 }
 
-// newPipe builds a pipe from a spec, seeding its jitter stream uniquely.
-var pipeSeq uint64
-
+// newPipe builds a pipe from a spec, seeding its jitter stream uniquely
+// within the engine (engine-scoped so concurrent runs stay deterministic).
 func newPipe(eng *sim.Engine, spec LinkSpec, dst Receiver) *Pipe {
 	p := NewPipe(eng, spec.Rate, spec.Delay, spec.QueueLimit, spec.ECNThreshold, dst)
 	p.Queue().AQMDropNonECT = spec.AQMDrop
 	if spec.Jitter > 0 {
-		pipeSeq++
-		p.SetJitter(spec.Jitter, 0x9e3779b9+pipeSeq*0x1234567)
+		p.SetJitter(spec.Jitter, 0x9e3779b9+eng.NextSeq("topo.pipe")*0x1234567)
 	}
 	return p
 }

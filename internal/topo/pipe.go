@@ -49,11 +49,16 @@ type Pipe struct {
 // NewPipe builds a pipe draining into dst. queueLimit and ecnThreshold are
 // in bytes and configure the physical FIFO (see queue.New).
 func NewPipe(eng *sim.Engine, rate units.BitRate, delay sim.Time, queueLimit, ecnThreshold int, dst Receiver) *Pipe {
+	q := queue.New(queueLimit, ecnThreshold)
+	// Derive the AQM stream from the engine so concurrent runs never share
+	// (or race on) a process-global sequence and a run's randomness is a
+	// pure function of its own construction order.
+	q.SetAQMSeed(0xA11CE + eng.NextSeq("queue.aqm")*0x5bd1e995)
 	return &Pipe{
 		eng:   eng,
 		rate:  rate,
 		delay: delay,
-		q:     queue.New(queueLimit, ecnThreshold),
+		q:     q,
 		dst:   dst,
 	}
 }

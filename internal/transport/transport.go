@@ -19,14 +19,12 @@ import (
 	"aqueue/internal/topo"
 )
 
-// flowIDs allocates process-unique flow identifiers. The simulator is
-// single-threaded, so a plain counter suffices.
-var flowIDs packet.FlowID
-
-// NextFlowID returns a fresh flow identifier.
-func NextFlowID() packet.FlowID {
-	flowIDs++
-	return flowIDs
+// NextFlowID returns a fresh flow identifier scoped to the given engine.
+// Flows only need to be unique within one simulation; deriving them from
+// the engine (rather than a process global) keeps every run deterministic
+// even when many runs execute concurrently in the same process.
+func NextFlowID(eng *sim.Engine) packet.FlowID {
+	return packet.FlowID(eng.NextSeq("transport.flow"))
 }
 
 // Options configures a sender beyond its CC algorithm.
@@ -132,7 +130,7 @@ func NewSender(src, dst *topo.Host, size int64, alg cc.Algorithm, opt Options) *
 		eng:   src.Engine(),
 		src:   src,
 		dst:   dst,
-		flow:  NextFlowID(),
+		flow:  NextFlowID(src.Engine()),
 		alg:   alg,
 		opt:   opt,
 		size:  size,

@@ -250,8 +250,18 @@ func TestUDPStarvesTCPOnSharedPQ(t *testing.T) {
 }
 
 func TestFlowIDsUnique(t *testing.T) {
-	a, b := NextFlowID(), NextFlowID()
+	eng := sim.NewEngine()
+	a, b := NextFlowID(eng), NextFlowID(eng)
 	if a == b {
 		t.Fatal("flow IDs collide")
+	}
+}
+
+// TestFlowIDsEngineScoped pins the determinism contract the parallel
+// harness relies on: two engines allocate the same IDs independently.
+func TestFlowIDsEngineScoped(t *testing.T) {
+	e1, e2 := sim.NewEngine(), sim.NewEngine()
+	if NextFlowID(e1) != NextFlowID(e2) {
+		t.Fatal("flow IDs are not engine-scoped")
 	}
 }

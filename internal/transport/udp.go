@@ -54,7 +54,7 @@ func NewUDPSender(src, dst *topo.Host, rate units.BitRate, opt Options) *UDPSend
 		eng:  src.Engine(),
 		src:  src,
 		dst:  dst,
-		flow: NextFlowID(),
+		flow: NextFlowID(src.Engine()),
 		rate: rate,
 		mss:  opt.MSS,
 		opt:  opt,
