@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"aqueue/internal/benchcore"
+	"aqueue/internal/experiments"
+	"aqueue/internal/harness"
+	"aqueue/internal/sim"
+)
+
+// BenchCoreSchema versions the BENCH_simcore.json layout.
+const BenchCoreSchema = "aq-benchcore/v1"
+
+// coreMetrics is one measured point of the simulation-core benchmarks.
+type coreMetrics struct {
+	Engine     benchcore.EngineResult     `json:"engine"`
+	Forwarding benchcore.ForwardingResult `json:"forwarding"`
+	Sweep      *harness.Bench             `json:"sweep,omitempty"`
+	// Note documents provenance (e.g. that a baseline was measured before
+	// a refactor landed).
+	Note string `json:"note,omitempty"`
+}
+
+// coreRecord is the BENCH_simcore.json document: the current measurement
+// plus a preserved baseline so before/after stays in one artifact. When the
+// output file already exists its baseline section is carried over verbatim;
+// regenerating never erases the reference point.
+type coreRecord struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Baseline   *coreMetrics `json:"baseline,omitempty"`
+	Current    coreMetrics  `json:"current"`
+}
+
+// runBenchCore measures the three simulation-core benchmarks — engine
+// event churn, single-bottleneck forwarding, and the full quick experiment
+// sweep — and writes the record to path, preserving any existing baseline.
+func runBenchCore(parallel int, path string) {
+	const (
+		engineEvents   = 5_000_000
+		forwardingRuns = 20
+	)
+
+	fmt.Printf("benchcore: engine churn, %d events\n", engineEvents)
+	eng := benchcore.MeasureEngine(engineEvents)
+	fmt.Printf("  %.1f ns/event (%.2fM events/sec)\n", eng.NsPerEvent, eng.EventsPerSec/1e6)
+
+	fmt.Printf("benchcore: single-bottleneck forwarding, %d x 10ms runs\n", forwardingRuns)
+	fwd := benchcore.MeasureForwarding(forwardingRuns, 10*sim.Millisecond)
+	fmt.Printf("  %.0f ns/op, %.0f allocs/op, %d pkts/op (%.0f ns/pkt, %.2fM pkts/sec)\n",
+		fwd.NsPerOp, fwd.AllocsPerOp, fwd.PacketsPerOp, fwd.NsPerPacket, fwd.PacketsPerSec/1e6)
+
+	jobs, err := harness.Jobs(harness.Names(), nil, experiments.DefaultParams(true))
+	if err != nil {
+		fatalf("building sweep jobs: %v", err)
+	}
+	workers := effectiveWorkers(parallel, len(jobs))
+	fmt.Printf("benchcore: quick sweep, %d jobs, sequential then %d workers\n", len(jobs), workers)
+	sweep := harness.RunBench(jobs, workers)
+	fmt.Printf("  sequential %v, parallel %v (speedup %.2fx, identical=%v)\n",
+		time.Duration(sweep.SequentialNS).Round(time.Millisecond),
+		time.Duration(sweep.ParallelNS).Round(time.Millisecond),
+		sweep.Speedup, sweep.Identical)
+
+	rec := coreRecord{
+		Schema:     BenchCoreSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Baseline:   readBaseline(path),
+		Current:    coreMetrics{Engine: eng, Forwarding: fwd, Sweep: sweep},
+	}
+	if rec.Baseline != nil {
+		b, c := rec.Baseline.Forwarding, rec.Current.Forwarding
+		if b.NsPerOp > 0 && b.AllocsPerOp > 0 {
+			fmt.Printf("benchcore: vs baseline — forwarding %.2fx time, %.0fx allocs\n",
+				b.NsPerOp/c.NsPerOp, b.AllocsPerOp/c.AllocsPerOp)
+		}
+	}
+	if err := writeJSON(path, &rec); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Printf("[benchcore written to %s]\n", path)
+	if !sweep.Identical {
+		fatalf("parallel sweep differs from sequential — determinism regression")
+	}
+}
+
+// readBaseline carries the baseline section over from an existing record,
+// so regenerating the artifact keeps the reference measurement.
+func readBaseline(path string) *coreMetrics {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var old coreRecord
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "[ignoring unparseable %s: %v]\n", path, err)
+		return nil
+	}
+	return old.Baseline
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

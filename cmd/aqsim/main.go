@@ -14,6 +14,8 @@
 //	aqsim -experiment all -json out.json      # machine-readable results
 //	aqsim -experiment fig6 -seeds 1,2,3       # multi-seed sweep
 //	aqsim -bench -quick                       # regenerate BENCH_harness.json
+//	aqsim -benchcore                          # regenerate BENCH_simcore.json
+//	aqsim -benchcore -cpuprofile cpu.pprof    # profile the hot path
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,7 +43,26 @@ func main() {
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	bench := flag.Bool("bench", false, "run the benchmark mode (sequential vs parallel) and write -benchout")
 	benchOut := flag.String("benchout", "BENCH_harness.json", "path of the benchmark record written by -bench")
+	benchCore := flag.Bool("benchcore", false, "run the simulation-core benchmarks and write -benchcoreout")
+	benchCoreOut := flag.String("benchcoreout", "BENCH_simcore.json", "path of the record written by -benchcore")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("creating %s: %v", *cpuprofile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		// Flushed on normal return; fatalf exits hard and skips profiles.
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
+	}
 
 	switch *format {
 	case "text", "csv", "none":
@@ -59,6 +81,11 @@ func main() {
 	if *exp != "all" {
 		names = splitList(*exp)
 	}
+	if *benchCore {
+		runBenchCore(*parallel, *benchCoreOut)
+		return
+	}
+
 	base := experiments.DefaultParams(*quick)
 	base.Seed = *seed
 	seedList, err := parseSeeds(*seeds)
@@ -183,6 +210,21 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+// writeMemProfile dumps the live heap after a final GC, the same shape
+// `go test -memprofile` produces.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "creating %s: %v\n", path, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,143 @@
+// Package benchcore holds the simulation-core benchmark scenarios shared
+// by the `go test -bench` suite and `cmd/aqsim -benchcore`: an engine-only
+// event churn, the single-bottleneck forwarding macro-scenario, and the
+// full quick experiment sweep. Keeping them here means the CLI records the
+// exact workload the benchmarks measure, so BENCH_simcore.json numbers and
+// `go test -bench` output stay comparable across PRs.
+package benchcore
+
+import (
+	"runtime"
+	"time"
+
+	"aqueue/internal/cc"
+	"aqueue/internal/core"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+	"aqueue/internal/transport"
+	"aqueue/internal/units"
+)
+
+// RunSingleBottleneck forwards traffic from four entities (two CUBIC flows
+// each, tagged with per-entity ingress AQs) plus one unreactive UDP blaster
+// through a shared 10 Gbps dumbbell bottleneck for the given horizon. It
+// returns the packets put on the bottleneck wire — the quantity the
+// forwarding benchmark normalizes by.
+func RunSingleBottleneck(horizon sim.Time) uint64 {
+	eng := sim.NewEngine()
+	spec := topo.DefaultSim()
+	d := topo.NewDumbbell(eng, 4, 4, spec, spec)
+	for i := 0; i < 4; i++ {
+		d.S1.Ingress.Deploy(core.Config{ID: packet.AQID(i + 1), Rate: 2 * units.Gbps})
+	}
+	var senders []*transport.Sender
+	for i := 0; i < 4; i++ {
+		opt := transport.Options{IngressAQ: packet.AQID(i + 1)}
+		for j := 0; j < 2; j++ {
+			s := transport.NewSender(d.Left[i], d.Right[i], 0, cc.NewCubic(), opt)
+			s.Start(0)
+			senders = append(senders, s)
+		}
+	}
+	u := transport.NewUDPSender(d.Left[0], d.Right[3], 3*units.Gbps,
+		transport.Options{IngressAQ: 1})
+	u.Start(0)
+	eng.RunUntil(horizon)
+	for _, s := range senders {
+		s.Stop()
+	}
+	u.Stop()
+	return d.Bottleneck.TxPackets
+}
+
+// RunEngineChurn drives an engine-only workload: width self-perpetuating
+// timers, each firing rescheduling itself, until the requested number of
+// events has fired. It isolates the event core (heap, free list, detached
+// dispatch) from the network model.
+func RunEngineChurn(events int, width int) {
+	if width > events {
+		width = events
+	}
+	eng := sim.NewEngine()
+	fired := 0
+	var tick func(i int) func()
+	tick = func(i int) func() {
+		var fn func()
+		fn = func() {
+			fired++
+			if fired+width <= events {
+				eng.After(sim.Time(i+1), fn)
+			}
+		}
+		return fn
+	}
+	for i := 0; i < width; i++ {
+		eng.After(sim.Time(i+1), tick(i))
+	}
+	eng.Run()
+}
+
+// EngineResult is the engine micro-benchmark record.
+type EngineResult struct {
+	Events       int     `json:"events"`
+	WallNS       int64   `json:"wall_ns"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// MeasureEngine times RunEngineChurn over the given number of events.
+func MeasureEngine(events int) EngineResult {
+	const width = 1024
+	RunEngineChurn(events/16, width) // warm-up: heat the free list and heap
+	start := time.Now()
+	RunEngineChurn(events, width)
+	wall := time.Since(start)
+	return EngineResult{
+		Events:       events,
+		WallNS:       wall.Nanoseconds(),
+		NsPerEvent:   float64(wall.Nanoseconds()) / float64(events),
+		EventsPerSec: float64(events) / wall.Seconds(),
+	}
+}
+
+// ForwardingResult is the macro forwarding benchmark record. One op is a
+// full single-bottleneck run over the configured horizon.
+type ForwardingResult struct {
+	Runs          int     `json:"runs"`
+	HorizonNS     int64   `json:"horizon_ns"`
+	PacketsPerOp  uint64  `json:"packets_per_op"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	NsPerPacket   float64 `json:"ns_per_packet"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+}
+
+// MeasureForwarding runs the single-bottleneck scenario `runs` times and
+// reports per-op wall time plus per-op allocation counts from
+// runtime.MemStats (measured across all runs, divided back out — the same
+// accounting `go test -bench` uses).
+func MeasureForwarding(runs int, horizon sim.Time) ForwardingResult {
+	pkts := RunSingleBottleneck(horizon) // warm-up: fill the packet pool
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		pkts = RunSingleBottleneck(horizon)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	nsPerOp := float64(wall.Nanoseconds()) / float64(runs)
+	return ForwardingResult{
+		Runs:          runs,
+		HorizonNS:     int64(horizon),
+		PacketsPerOp:  pkts,
+		NsPerOp:       nsPerOp,
+		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(runs),
+		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(runs),
+		NsPerPacket:   nsPerOp / float64(pkts),
+		PacketsPerSec: float64(pkts) * float64(runs) / wall.Seconds(),
+	}
+}

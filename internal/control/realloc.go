@@ -78,8 +78,9 @@ func (r *Reallocator) tick() {
 	for i := range r.entries {
 		e := &r.entries[i]
 		totalW += e.weight
-		bytes := e.aq.ArrivedBytes - e.lastBytes
-		e.lastBytes = e.aq.ArrivedBytes
+		arrivedBytes := e.aq.Stats().ArrivedBytes
+		bytes := arrivedBytes - e.lastBytes
+		e.lastBytes = arrivedBytes
 		offered := float64(bytes) * 8 / r.interval.Seconds()
 		// Demand headroom: an entity pinned at its allocation is assumed
 		// to want more (its true demand is unobservable, as in EyeQ's

@@ -92,11 +92,33 @@ type AQ struct {
 	gap      float64  // A-Gap in bytes
 	lastTime sim.Time // arrival time of the previous packet
 
-	// Counters for stats and tests.
-	Arrived      uint64
-	ArrivedBytes uint64
-	Drops        uint64
-	Marks        uint64
+	// Counters, exposed through Stats. Plain (non-atomic) fields: an AQ is
+	// only touched from its engine's goroutine while traffic flows, and the
+	// harness snapshots results only after a run completes (the worker
+	// pool's WaitGroup provides the happens-before edge).
+	arrived      uint64
+	arrivedBytes uint64
+	drops        uint64
+	marks        uint64
+}
+
+// AQStats is a snapshot of an AQ's per-packet counters, mirroring
+// Table.Stats.
+type AQStats struct {
+	Arrived      uint64 `json:"arrived"`
+	ArrivedBytes uint64 `json:"arrived_bytes"`
+	Drops        uint64 `json:"drops"`
+	Marks        uint64 `json:"marks"`
+}
+
+// Stats returns a snapshot of the arrival/drop/mark counters.
+func (a *AQ) Stats() AQStats {
+	return AQStats{
+		Arrived:      a.arrived,
+		ArrivedBytes: a.arrivedBytes,
+		Drops:        a.drops,
+		Marks:        a.marks,
+	}
 }
 
 // New builds an AQ from a configuration, applying defaults.
@@ -178,17 +200,17 @@ const (
 // (Algorithm 2 lines 2–4), so dropped traffic does not count against the
 // entity's allocation.
 func (a *AQ) Process(now sim.Time, p *packet.Packet) Verdict {
-	a.Arrived++
-	a.ArrivedBytes += uint64(p.Size)
+	a.arrived++
+	a.arrivedBytes += uint64(p.Size)
 	gap := a.Update(now, p.Size)
 	if gap > a.limit {
 		a.gap = gap - float64(p.Size)
-		a.Drops++
+		a.drops++
 		return Drop
 	}
 	if a.cc == ECNType && gap > a.ecnThreshold && p.EcnCapable {
 		p.CE = true
-		a.Marks++
+		a.marks++
 	}
 	// Virtual queuing delay: the time the AQ needs to "drain" the current
 	// A-Gap at rate R, accumulated along the path (§3.3.2). It is stamped
@@ -213,5 +235,5 @@ func (a *AQ) VirtualDelay() sim.Time {
 func (a *AQ) Reset() {
 	a.gap = 0
 	a.lastTime = 0
-	a.Arrived, a.ArrivedBytes, a.Drops, a.Marks = 0, 0, 0, 0
+	a.arrived, a.arrivedBytes, a.drops, a.marks = 0, 0, 0, 0
 }

@@ -98,8 +98,8 @@ func TestProcessDropRestoresGap(t *testing.T) {
 	if aq.Gap() != gapBefore {
 		t.Fatalf("gap after drop = %v, want %v", aq.Gap(), gapBefore)
 	}
-	if aq.Drops != 1 {
-		t.Fatalf("Drops = %d, want 1", aq.Drops)
+	if st := aq.Stats(); st.Drops != 1 {
+		t.Fatalf("Drops = %d, want 1", st.Drops)
 	}
 }
 
@@ -122,8 +122,8 @@ func TestProcessECNMarking(t *testing.T) {
 	if aq.Process(0, p) != Pass || !p.CE {
 		t.Fatal("packet above virtual ECN threshold should be marked")
 	}
-	if aq.Marks != 1 {
-		t.Fatalf("Marks = %d, want 1", aq.Marks)
+	if st := aq.Stats(); st.Marks != 1 {
+		t.Fatalf("Marks = %d, want 1", st.Marks)
 	}
 	// Non-ECN-capable traffic is never marked.
 	q := packet.NewData(1, 2, 1, 0, 960)
@@ -205,7 +205,7 @@ func TestReset(t *testing.T) {
 	aq := New(Config{ID: 1, Rate: units.Gbps})
 	aq.Process(0, packet.NewData(1, 2, 1, 0, 960))
 	aq.Reset()
-	if aq.Gap() != 0 || aq.Arrived != 0 {
+	if aq.Gap() != 0 || aq.Stats() != (AQStats{}) {
 		t.Fatal("Reset did not clear state")
 	}
 }

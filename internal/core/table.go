@@ -7,6 +7,7 @@ import (
 
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
+	"aqueue/internal/trace"
 )
 
 // Table is the per-pipeline AQ lookup table of a switch (§4.2): a map from
@@ -23,6 +24,11 @@ type Table struct {
 	// Bypass, when non-nil, is consulted per packet; a true return skips
 	// AQ processing entirely (work-conserving mode, §6).
 	Bypass func(p *packet.Packet) bool
+
+	// trace, when non-nil, receives AQDrop and AQMark events — the two
+	// outcomes only the AQ layer can observe. traceWhere labels them.
+	trace      trace.Sink
+	traceWhere string
 
 	// Counters. Atomic because a table may be observed from outside its
 	// simulation goroutine: the control-plane server reports tables over
@@ -100,7 +106,25 @@ func (t *Table) Process(now sim.Time, id packet.AQID, p *packet.Packet) Verdict 
 		t.misses.Add(1)
 		return Pass
 	}
-	return aq.Process(now, p)
+	if t.trace == nil {
+		return aq.Process(now, p)
+	}
+	marksBefore := aq.marks
+	v := aq.Process(now, p)
+	if v == Drop {
+		t.trace.Record(trace.FromPacket(now, trace.AQDrop, p, t.traceWhere))
+	} else if aq.marks != marksBefore {
+		t.trace.Record(trace.FromPacket(now, trace.AQMark, p, t.traceWhere))
+	}
+	return v
+}
+
+// SetTrace attaches a sink that receives an AQDrop or AQMark event for
+// every packet the table's AQs drop or ECN-mark, labelled with where.
+// A nil sink detaches tracing; the hot path then pays one branch.
+func (t *Table) SetTrace(s trace.Sink, where string) {
+	t.trace = s
+	t.traceWhere = where
 }
 
 // MemoryBytes models the SRAM footprint of the deployed AQs using the

@@ -46,9 +46,10 @@ const (
 	MaxDataBytes = DefaultMSS + HeaderBytes
 )
 
-// Packet is one simulated packet. Packets are heap-allocated and owned by
-// exactly one component at a time (queue, wire, or endpoint), so no copying
-// or locking is needed.
+// Packet is one simulated packet. Packets are pool-allocated (see pool.go)
+// and owned by exactly one component at a time (queue, wire, or endpoint),
+// so no copying or locking is needed; the owner that terminates the chain
+// — a drop site or the delivering host — releases it back to the pool.
 type Packet struct {
 	Src, Dst HostID
 	Flow     FlowID
@@ -102,29 +103,32 @@ type Packet struct {
 	Retransmit bool
 }
 
-// NewData builds an MSS-or-smaller data segment.
+// NewData builds an MSS-or-smaller data segment. The packet comes from the
+// pool; whoever ends its ownership chain must call Release.
 func NewData(src, dst HostID, flow FlowID, seq int64, payload int) *Packet {
-	return &Packet{
-		Src:     src,
-		Dst:     dst,
-		Flow:    flow,
-		Kind:    Data,
-		Size:    payload + HeaderBytes,
-		Seq:     seq,
-		Payload: payload,
-	}
+	p := Get()
+	p.Src = src
+	p.Dst = dst
+	p.Flow = flow
+	p.Kind = Data
+	p.Size = payload + HeaderBytes
+	p.Seq = seq
+	p.Payload = payload
+	return p
 }
 
-// NewAck builds a header-only acknowledgement for the given flow.
+// NewAck builds a header-only acknowledgement for the given flow. The
+// packet comes from the pool; whoever ends its ownership chain must call
+// Release.
 func NewAck(src, dst HostID, flow FlowID, ack int64) *Packet {
-	return &Packet{
-		Src:  src,
-		Dst:  dst,
-		Flow: flow,
-		Kind: Ack,
-		Size: HeaderBytes,
-		Ack:  ack,
-	}
+	p := Get()
+	p.Src = src
+	p.Dst = dst
+	p.Flow = flow
+	p.Kind = Ack
+	p.Size = HeaderBytes
+	p.Ack = ack
+	return p
 }
 
 // String renders a compact description for logs and test failures.

@@ -1,0 +1,60 @@
+package packet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Steady-state forwarding must not allocate: every data segment and ACK
+// comes out of a process-wide sync.Pool and goes back the moment its owner
+// is done with it. Ownership is linear — a packet belongs to exactly one
+// component at a time (sender → queue → wire → receiver), and whichever
+// component terminates that chain (a drop site or the delivering host)
+// calls Release. See DESIGN.md "Hot-path architecture" for the ownership
+// rules.
+//
+// A process-wide pool (rather than an engine-scoped free list) keeps the
+// parallel experiment harness simple: engines on different goroutines
+// share the pool safely, and because a recycled packet is fully zeroed
+// before reuse, run results stay byte-identical whether a packet's memory
+// is fresh or reused — the pooled-vs-unpooled fingerprint test holds the
+// simulator to that.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// pooling gates the allocator; the lifecycle tests flip it to compare
+// pooled and unpooled runs.
+var pooling atomic.Bool
+
+func init() { pooling.Store(true) }
+
+// SetPooling enables or disables packet reuse (it is on by default).
+// Disabling is only meant for A/B determinism tests and debugging: Get
+// falls back to the garbage collector and Release becomes a no-op.
+func SetPooling(on bool) { pooling.Store(on) }
+
+// PoolingEnabled reports whether packets are being reused.
+func PoolingEnabled() bool { return pooling.Load() }
+
+// Get returns a zeroed packet from the pool. Prefer NewData/NewAck, which
+// also fill in the common header fields.
+func Get() *Packet {
+	if !pooling.Load() {
+		return new(Packet)
+	}
+	p := pool.Get().(*Packet)
+	*p = Packet{}
+	debugAcquire(p)
+	return p
+}
+
+// Release returns a packet to the pool. Only the packet's current owner —
+// the component the linear ownership chain ended at — may call it, exactly
+// once, and must not touch the packet afterwards. Under `-tags aqdebug`
+// the packet is poisoned on release and a double release panics.
+func Release(p *Packet) {
+	if p == nil || !pooling.Load() {
+		return
+	}
+	debugRelease(p)
+	pool.Put(p)
+}

@@ -78,6 +78,7 @@ func (tb *TokenBucket) Submit(p *packet.Packet) {
 	}
 	if !tb.q.Push(tb.eng.Now(), p) {
 		tb.Dropped++
+		packet.Release(p)
 		return
 	}
 	tb.schedule()

@@ -4,12 +4,24 @@
 // same sequence of Schedule calls, a run is bit-for-bit reproducible, which
 // is what the experiment harness and the regression tests rely on. Events
 // scheduled for the same instant fire in scheduling order.
+//
+// The event core is built for the per-packet hot path:
+//
+//   - a 4-ary index heap (shallower than a binary heap, so fewer
+//     comparisons and pointer moves per push/pop on the deep queues a
+//     packet simulation builds);
+//   - cancelled events are counted and opportunistically compacted away,
+//     so Pending reports live events and cancel-heavy workloads do not
+//     drag tombstones through every sift;
+//   - timers can be rescheduled in place (Reschedule), so a retransmission
+//     timer that re-arms on every ACK reuses one Event allocation for the
+//     life of the flow;
+//   - fire-and-forget callbacks (AtDetached/AfterDetached) hand the Event
+//     object back to an engine-owned free list when they fire, making
+//     steady-state packet forwarding allocation-free.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated instant, in nanoseconds since the start of the run.
 type Time int64
@@ -40,21 +52,38 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. It can be cancelled before it fires; a
-// cancelled event stays in the heap but is skipped when popped.
+// Event is a scheduled callback. It can be cancelled before it fires, or
+// moved with Engine.Reschedule. A cancelled event stays in the heap as a
+// tombstone until it is popped or compacted away; tombstones are excluded
+// from Pending.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
+	at  Time
+	seq uint64
+	eng *Engine
+
+	// Exactly one of fn and fnArg is set. The argful form lets hot-path
+	// callers reuse one long-lived closure instead of capturing per packet.
+	fn    func()
+	fnArg func(any)
+	arg   any
+
 	index     int // heap index, -1 once popped
+	cancelled bool
+	// detached events were scheduled with AtDetached: no caller holds a
+	// handle, so the engine recycles the object once it fires.
+	detached bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 && e.eng != nil {
+		e.eng.dead++
+		e.eng.maybeCompact()
 	}
 }
 
@@ -66,10 +95,12 @@ func (e *Event) Time() Time { return e.at }
 
 // Engine owns the simulated clock and the pending-event heap.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	ids    map[string]uint64
+	now  Time
+	seq  uint64
+	heap []*Event // 4-ary min-heap on (at, seq)
+	dead int      // cancelled events still in the heap
+	free []*Event // recycled detached events
+	ids  map[string]uint64
 	// Processed counts events that have fired (not cancelled ones); it is
 	// exposed for benchmarks and sanity checks.
 	Processed uint64
@@ -100,12 +131,10 @@ func (e *Engine) NextSeq(domain string) uint64 {
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a logic error in a discrete-event model.
 func (e *Engine) At(t Time, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling at %v which is before now %v", t, e.now))
-	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.checkTime(t)
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -117,20 +146,100 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Pending reports the number of events still in the heap, including
-// cancelled ones that have not been popped yet.
-func (e *Engine) Pending() int { return len(e.events) }
+// AtDetached schedules fn(arg) at absolute time t without returning a
+// handle: the event cannot be cancelled or rescheduled, which is exactly
+// what lets the engine recycle the Event object the moment it fires.
+// Hot paths that schedule per-packet callbacks (transmit-done, delivery)
+// use this with one long-lived fn, so steady-state forwarding allocates
+// neither Events nor closures.
+func (e *Engine) AtDetached(t Time, fn func(any), arg any) {
+	e.checkTime(t)
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	*ev = Event{at: t, seq: e.seq, fnArg: fn, arg: arg, eng: e, detached: true}
+	e.seq++
+	e.push(ev)
+}
+
+// AfterDetached schedules fn(arg) to run d nanoseconds from now; see
+// AtDetached.
+func (e *Engine) AfterDetached(d Time, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtDetached(e.now+d, fn, arg)
+}
+
+// Reschedule moves a timer to fire fn at absolute time t, reusing ev when
+// possible instead of allocating: a pending event (cancelled or not) is
+// updated and sifted in place; an already-fired event object is pushed
+// back onto the heap. The rescheduled event takes a fresh sequence number,
+// so it orders among same-instant events exactly as a newly scheduled one
+// would. A nil fn keeps the event's current callback.
+//
+// The caller must be the sole holder of ev (true for the timer fields
+// transport keeps); passing nil ev simply schedules a new event.
+func (e *Engine) Reschedule(ev *Event, t Time, fn func()) *Event {
+	e.checkTime(t)
+	if ev == nil || ev.detached {
+		return e.At(t, fn)
+	}
+	if ev.cancelled {
+		ev.cancelled = false
+		if ev.index >= 0 {
+			e.dead--
+		}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	if fn != nil {
+		ev.fn = fn
+	}
+	ev.eng = e
+	if ev.index >= 0 {
+		e.fix(ev.index)
+	} else {
+		e.push(ev)
+	}
+	return ev
+}
+
+// RescheduleAfter moves a timer to fire fn d nanoseconds from now; see
+// Reschedule.
+func (e *Engine) RescheduleAfter(ev *Event, d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Reschedule(ev, e.now+d, fn)
+}
+
+func (e *Engine) checkTime(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v which is before now %v", t, e.now))
+	}
+}
+
+// Pending reports the number of live (non-cancelled) events in the heap.
+func (e *Engine) Pending() int { return len(e.heap) - e.dead }
 
 // Step fires the earliest pending event and returns true, or returns false
 // if the heap is empty. Cancelled events are discarded without firing.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+	for len(e.heap) > 0 {
+		ev := e.pop()
 		if ev.cancelled {
+			e.dead--
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		e.fire(ev)
 		e.Processed++
 		return true
 	}
@@ -146,18 +255,19 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= deadline and then advances the
 // clock to the deadline. Events scheduled beyond the deadline stay pending.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 {
-		next := e.events[0]
+	for len(e.heap) > 0 {
+		next := e.heap[0]
 		if next.cancelled {
-			heap.Pop(&e.events)
+			e.pop()
+			e.dead--
 			continue
 		}
 		if next.at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
+		e.pop()
 		e.now = next.at
-		next.fn()
+		e.fire(next)
 		e.Processed++
 	}
 	if e.now < deadline {
@@ -165,37 +275,147 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// eventHeap orders events by (time, seq) so same-instant events fire in
-// scheduling order, keeping runs deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// fire invokes the event's callback, recycling detached events first (the
+// callback may immediately schedule another detached event and get the
+// same object back).
+func (e *Engine) fire(ev *Event) {
+	if ev.fnArg != nil {
+		fn, arg := ev.fnArg, ev.arg
+		if ev.detached {
+			e.recycle(ev)
+		}
+		fn(arg)
+		return
 	}
-	return h[i].seq < h[j].seq
+	fn := ev.fn
+	if ev.detached {
+		e.recycle(ev)
+	}
+	fn()
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (e *Engine) recycle(ev *Event) {
+	*ev = Event{index: -1}
+	e.free = append(e.free, ev)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// maybeCompact rebuilds the heap without tombstones once cancelled events
+// outnumber live ones (and there are enough of them to matter). This keeps
+// cancel-heavy workloads — retransmission timers under steady ACK clocking
+// — from sifting dead weight on every operation.
+func (e *Engine) maybeCompact() {
+	if e.dead < 64 || e.dead*2 <= len(e.heap) {
+		return
+	}
+	live := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.cancelled {
+			ev.index = -1
+			if ev.detached {
+				e.recycle(ev)
+			}
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = live
+	e.dead = 0
+	// Floyd heapify: sift down every internal node.
+	if n := len(e.heap); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			e.down(i)
+		}
+	}
+	for i, ev := range e.heap {
+		ev.index = i
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+// ---------------------------------------------------------------------------
+// 4-ary index heap on (at, seq). Child c of node i is 4i+1 … 4i+4; the
+// parent of i is (i-1)/4. Shallower than a binary heap: a million pending
+// events sit 10 levels deep instead of 20.
+
+func (e *Engine) less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+func (e *Engine) pop() *Event {
+	h := e.heap
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.down(0)
+	}
 	ev.index = -1
-	*h = old[:n-1]
 	return ev
+}
+
+func (e *Engine) up(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+func (e *Engine) down(i int) {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !e.less(h[min], ev) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = i
+		i = min
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// fix restores heap order after the event at index i changed its key.
+func (e *Engine) fix(i int) {
+	ev := e.heap[i]
+	e.up(i)
+	e.down(ev.index)
 }

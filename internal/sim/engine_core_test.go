@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPendingExcludesCancelled is the regression test for the tombstone
+// miscount: Pending must report live events only, even when cancellations
+// dominate the heap.
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	var live, dead []*Event
+	for i := 0; i < 1000; i++ {
+		ev := e.At(Time(10+i), func() {})
+		if i%2 == 0 {
+			dead = append(dead, ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for _, ev := range dead {
+		ev.Cancel()
+	}
+	if got := e.Pending(); got != len(live) {
+		t.Fatalf("Pending() = %d after cancelling half, want %d", got, len(live))
+	}
+	// Double-cancel must not double-count.
+	dead[0].Cancel()
+	if got := e.Pending(); got != len(live) {
+		t.Fatalf("Pending() = %d after double cancel, want %d", got, len(live))
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != len(live) {
+		t.Fatalf("fired %d events, want %d", fired, len(live))
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", e.Pending())
+	}
+}
+
+// TestPendingCancelHeavyWorkload drives a transport-like cancel/re-arm loop
+// and checks Pending stays exact while compaction churns the heap.
+func TestPendingCancelHeavyWorkload(t *testing.T) {
+	e := NewEngine()
+	liveTimers := make([]*Event, 0, 4096)
+	for round := 0; round < 50; round++ {
+		// Arm a batch of timers far in the future, then cancel them all —
+		// the RTO pattern under a steady ACK clock.
+		for i := 0; i < 200; i++ {
+			liveTimers = append(liveTimers, e.After(Time(1000+i), func() {}))
+		}
+		for _, ev := range liveTimers {
+			ev.Cancel()
+		}
+		liveTimers = liveTimers[:0]
+		// One live event per round keeps the clock moving.
+		e.After(1, func() {})
+		if e.Pending() != 1 {
+			t.Fatalf("round %d: Pending() = %d, want 1", round, e.Pending())
+		}
+		if !e.Step() {
+			t.Fatalf("round %d: no live event to fire", round)
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("round %d: Pending() = %d after drain, want 0", round, e.Pending())
+		}
+	}
+}
+
+func TestRunUntilSkipsTombstones(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 100; i++ {
+		ev := e.At(Time(10+i), func() { fired++ })
+		if i%3 != 0 {
+			ev.Cancel()
+		}
+	}
+	e.RunUntil(200)
+	if want := 34; fired != want { // i = 0, 3, 6, ..., 99
+		t.Fatalf("fired %d, want %d", fired, want)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestRescheduleMovesPendingEvent(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.At(10, func() { at = e.Now() })
+	ev2 := e.Reschedule(ev, 50, nil)
+	if ev2 != ev {
+		t.Fatal("rescheduling a pending event allocated a new one")
+	}
+	e.Run()
+	if at != 50 {
+		t.Fatalf("rescheduled event fired at %v, want 50", at)
+	}
+}
+
+func TestRescheduleReusesFiredEvent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	ev := e.At(10, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatal("event did not fire")
+	}
+	// The holder re-arms the fired timer: same object, back on the heap.
+	ev2 := e.Reschedule(ev, e.Now()+5, nil)
+	if ev2 != ev {
+		t.Fatal("rescheduling a fired event allocated a new one")
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("re-armed event fired %d times total, want 2", count)
+	}
+}
+
+func TestRescheduleRevivesCancelledEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel, want 0", e.Pending())
+	}
+	e.Reschedule(ev, 20, nil)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after revive, want 1", e.Pending())
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("revived event did not fire")
+	}
+}
+
+func TestRescheduleSameInstantOrdersAsFreshSchedule(t *testing.T) {
+	// A rescheduled event must order among same-instant events exactly as a
+	// newly scheduled one would (fresh sequence number) — this is what keeps
+	// the cancel-and-reallocate → reschedule refactor byte-identical.
+	e := NewEngine()
+	var order []string
+	ev := e.At(10, func() { order = append(order, "timer") })
+	e.At(20, func() { order = append(order, "a") })
+	e.Reschedule(ev, 20, nil) // after "a": must fire after it
+	e.At(20, func() { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "timer", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRescheduleNilSchedulesFresh(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Reschedule(nil, 10, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("Reschedule(nil, ...) did not schedule")
+	}
+}
+
+func TestDetachedEventsFireAndRecycle(t *testing.T) {
+	e := NewEngine()
+	sum := 0
+	add := func(v any) { sum += v.(int) }
+	for i := 1; i <= 10; i++ {
+		e.AtDetached(Time(i), add, i)
+	}
+	e.Run()
+	if sum != 55 {
+		t.Fatalf("sum = %d, want 55", sum)
+	}
+	if len(e.free) == 0 {
+		t.Fatal("no detached events were recycled")
+	}
+	// A second wave must reuse the free list, not grow it.
+	before := len(e.free)
+	e.AfterDetached(1, add, 100)
+	e.Run()
+	if len(e.free) != before {
+		t.Fatalf("free list grew from %d to %d on reuse", before, len(e.free))
+	}
+}
+
+func TestDetachedInterleavesWithHandles(t *testing.T) {
+	// Detached and handle events at the same instant fire in scheduling
+	// order, like any other events.
+	e := NewEngine()
+	var order []int
+	e.AtDetached(5, func(v any) { order = append(order, v.(int)) }, 0)
+	e.At(5, func() { order = append(order, 1) })
+	e.AtDetached(5, func(v any) { order = append(order, v.(int)) }, 2)
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+// TestHeapOrderingProperty re-checks time ordering under a mix of
+// scheduling, cancellation and rescheduling on the 4-ary heap.
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(delays []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		evs := make([]*Event, 0, len(delays))
+		for _, d := range delays {
+			evs = append(evs, e.At(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			}))
+		}
+		for i, ev := range evs {
+			if i < len(cancelMask) && cancelMask[i] {
+				ev.Cancel()
+			}
+		}
+		for i, ev := range evs {
+			if i%7 == 3 && !ev.Cancelled() && ev.index >= 0 {
+				e.Reschedule(ev, ev.Time()+Time(i%5), nil)
+			}
+		}
+		e.Run()
+		return ok && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

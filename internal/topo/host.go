@@ -1,8 +1,11 @@
 package topo
 
 import (
+	"strconv"
+
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
+	"aqueue/internal/trace"
 )
 
 // FlowHandler consumes packets belonging to one transport flow.
@@ -38,6 +41,12 @@ type Host struct {
 	RxPackets uint64
 	RxBytes   uint64
 	Orphans   uint64 // packets with no registered flow handler
+
+	// trace, when non-nil, receives a Send event per outbound packet and a
+	// Recv event per delivery. traceWhere is precomputed at SetTrace time so
+	// the hot path never formats strings.
+	trace      trace.Sink
+	traceWhere string
 }
 
 // NewHost returns a host with the given ID; attach its uplink with SetUplink.
@@ -51,6 +60,14 @@ func (h *Host) ID() packet.HostID { return h.id }
 // Engine returns the simulation engine the host runs on.
 func (h *Host) Engine() *sim.Engine { return h.eng }
 
+// SetTrace attaches a sink that receives a Send event for every packet
+// this host emits and a Recv event for every packet delivered to it,
+// labelled "host:<id>". A nil sink detaches tracing.
+func (h *Host) SetTrace(s trace.Sink) {
+	h.trace = s
+	h.traceWhere = "host:" + strconv.Itoa(int(h.id))
+}
+
 // SetUplink attaches the pipe that carries this host's outbound traffic.
 func (h *Host) SetUplink(p *Pipe) { h.out = p }
 
@@ -63,22 +80,31 @@ func (h *Host) Register(id packet.FlowID, fh FlowHandler) { h.handlers[id] = fh 
 // Unregister removes a flow handler.
 func (h *Host) Unregister(id packet.FlowID) { delete(h.handlers, id) }
 
-// Receive implements Receiver: account the packet and dispatch by flow ID.
+// Receive implements Receiver: account the packet, dispatch by flow ID,
+// and release it — delivery ends the packet's ownership chain. Handlers
+// and hooks may read the packet during the call but must not retain it.
 func (h *Host) Receive(p *packet.Packet) {
 	h.RxPackets++
 	h.RxBytes += uint64(p.Size)
+	if h.trace != nil {
+		h.trace.Record(trace.FromPacket(h.eng.Now(), trace.Recv, p, h.traceWhere))
+	}
 	if h.RxHook != nil {
 		h.RxHook(p)
 	}
 	if fh, ok := h.handlers[p.Flow]; ok {
 		fh.Handle(p)
-		return
+	} else {
+		h.Orphans++
 	}
-	h.Orphans++
+	packet.Release(p)
 }
 
 // Send emits a packet from this host, honouring the send filter.
 func (h *Host) Send(p *packet.Packet) {
+	if h.trace != nil {
+		h.trace.Record(trace.FromPacket(h.eng.Now(), trace.Send, p, h.traceWhere))
+	}
 	if h.Filter != nil && h.Filter(p) {
 		return
 	}

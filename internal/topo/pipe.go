@@ -40,6 +40,12 @@ type Pipe struct {
 	// packet at dequeue time (excludes serialization and propagation).
 	DelayHook func(d sim.Time, p *packet.Packet)
 
+	// txDoneFn and deliverFn are the long-lived callbacks the transmitter
+	// schedules per packet (via the engine's detached events), so the hot
+	// path allocates neither closures nor Event objects.
+	txDoneFn  func(any)
+	deliverFn func(any)
+
 	// TxBytes counts bytes put on the wire (after any tail drops).
 	TxBytes uint64
 	// TxPackets counts packets put on the wire.
@@ -54,13 +60,16 @@ func NewPipe(eng *sim.Engine, rate units.BitRate, delay sim.Time, queueLimit, ec
 	// (or race on) a process-global sequence and a run's randomness is a
 	// pure function of its own construction order.
 	q.SetAQMSeed(0xA11CE + eng.NextSeq("queue.aqm")*0x5bd1e995)
-	return &Pipe{
+	p := &Pipe{
 		eng:   eng,
 		rate:  rate,
 		delay: delay,
 		q:     q,
 		dst:   dst,
 	}
+	p.txDoneFn = func(x any) { p.txDone(x.(*packet.Packet)) }
+	p.deliverFn = func(x any) { p.dst.Receive(x.(*packet.Packet)) }
+	return p
 }
 
 // SetScheduler replaces the egress queue (e.g. with a queue.DRR). Only
@@ -92,10 +101,12 @@ func (p *Pipe) Rate() units.BitRate { return p.rate }
 // (the paper's testbed runs ports at both 100 and 25 Gbps).
 func (p *Pipe) SetRate(r units.BitRate) { p.rate = r }
 
-// Send enqueues the packet for transmission. The packet is silently tail-
-// dropped when the FIFO is full — exactly what a physical port does.
+// Send enqueues the packet for transmission. The packet is tail-dropped —
+// and released back to the pool — when the FIFO is full, exactly what a
+// physical port does.
 func (p *Pipe) Send(pkt *packet.Packet) {
 	if !p.q.Push(p.eng.Now(), pkt) {
+		packet.Release(pkt)
 		return
 	}
 	p.kick()
@@ -119,18 +130,22 @@ func (p *Pipe) kick() {
 	p.TxBytes += uint64(pkt.Size)
 	p.TxPackets++
 	tx := sim.Time(p.rate.TransmitNanos(pkt.Size))
-	p.eng.After(tx, func() {
-		p.busy = false
-		d := p.delay
-		if p.jitter > 0 {
-			d += sim.Time(p.rng.Uint64() % uint64(p.jitter))
-		}
-		at := p.eng.Now() + d
-		if at <= p.lastPlan {
-			at = p.lastPlan + 1 // never reorder within a pipe
-		}
-		p.lastPlan = at
-		p.eng.At(at, func() { p.dst.Receive(pkt) })
-		p.kick()
-	})
+	p.eng.AfterDetached(tx, p.txDoneFn, pkt)
+}
+
+// txDone fires when the packet's last bit leaves the port: plan delivery
+// after propagation (plus jitter), then start on the next queued packet.
+func (p *Pipe) txDone(pkt *packet.Packet) {
+	p.busy = false
+	d := p.delay
+	if p.jitter > 0 {
+		d += sim.Time(p.rng.Uint64() % uint64(p.jitter))
+	}
+	at := p.eng.Now() + d
+	if at <= p.lastPlan {
+		at = p.lastPlan + 1 // never reorder within a pipe
+	}
+	p.lastPlan = at
+	p.eng.AtDetached(at, p.deliverFn, pkt)
+	p.kick()
 }

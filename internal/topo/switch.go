@@ -6,6 +6,7 @@ import (
 	"aqueue/internal/core"
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
+	"aqueue/internal/trace"
 )
 
 // Switch is a store-and-forward switch with per-destination routing and the
@@ -53,6 +54,16 @@ func NewSwitch(eng *sim.Engine, name string) *Switch {
 		Ingress: core.NewTable(),
 		Egress:  core.NewTable(),
 	}
+}
+
+// SetTrace attaches a sink to both AQ pipelines, labelled
+// "<name>:ingress" and "<name>:egress". The switch itself emits nothing —
+// the tables record the AQ drop/mark events, and hosts record the
+// send/receive endpoints — so one sink attached at every component sees
+// each occurrence exactly once. A nil sink detaches.
+func (s *Switch) SetTrace(sk trace.Sink) {
+	s.Ingress.SetTrace(sk, s.name+":ingress")
+	s.Egress.SetTrace(sk, s.name+":egress")
 }
 
 // AddPort attaches an egress pipe and returns its port number.
@@ -111,6 +122,7 @@ func (s *Switch) Receive(p *packet.Packet) {
 	port, ok := s.outPort(p)
 	if !ok {
 		s.RouteMiss++
+		packet.Release(p)
 		return
 	}
 	out := s.ports[port]
@@ -122,20 +134,24 @@ func (s *Switch) Receive(p *packet.Packet) {
 	}
 	now := s.eng.Now()
 	if s.Ingress.Process(now, p.IngressAQ, p) == core.Drop {
-		s.AQDrops++
-		if s.AQDropHook != nil {
-			s.AQDropHook(p)
-		}
+		s.aqDrop(p)
 		return
 	}
 	if s.Egress.Process(now, p.EgressAQ, p) == core.Drop {
-		s.AQDrops++
-		if s.AQDropHook != nil {
-			s.AQDropHook(p)
-		}
+		s.aqDrop(p)
 		return
 	}
 	out.Send(p)
+}
+
+// aqDrop accounts an AQ-pipeline drop and releases the packet: the switch
+// is the packet's last owner on this path.
+func (s *Switch) aqDrop(p *packet.Packet) {
+	s.AQDrops++
+	if s.AQDropHook != nil {
+		s.AQDropHook(p)
+	}
+	packet.Release(p)
 }
 
 // String identifies the switch in logs.

@@ -65,3 +65,62 @@ func TestTraceAQDropsEndToEnd(t *testing.T) {
 		t.Fatal("no deliveries traced")
 	}
 }
+
+// TestSinkWiringEndToEnd attaches one ring through the SetTrace plumbing —
+// hosts for the send/recv endpoints, the switch for its AQ pipelines — and
+// checks every event class shows up exactly where it was emitted.
+func TestSinkWiringEndToEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := topo.DefaultSim()
+	d := topo.NewDumbbell(eng, 1, 1, spec, spec)
+	d.S1.Ingress.Deploy(core.Config{
+		ID: 1, Rate: 1 * units.Gbps, Limit: 30_000,
+		CC: core.ECNType, ECNThreshold: 10_000,
+	})
+
+	ring := trace.NewRing(8192)
+	d.Left[0].SetTrace(ring)
+	d.Right[0].SetTrace(ring)
+	d.S1.SetTrace(ring)
+
+	s := transport.NewSender(d.Left[0], d.Right[0], 0, cc.NewCubic(),
+		transport.Options{IngressAQ: 1, EcnCapable: true})
+	s.Start(0)
+	eng.RunUntil(30 * sim.Millisecond)
+	s.Stop()
+
+	counts := map[trace.Kind]int{}
+	where := map[trace.Kind]string{}
+	for _, e := range ring.Filter(s.Flow()) {
+		counts[e.Kind]++
+		where[e.Kind] = e.Where
+	}
+	if counts[trace.Send] == 0 || where[trace.Send] != "host:0" {
+		t.Fatalf("sends: %d at %q, want >0 at host:0", counts[trace.Send], where[trace.Send])
+	}
+	if counts[trace.Recv] == 0 {
+		t.Fatalf("no deliveries traced")
+	}
+	if counts[trace.AQMark] == 0 || where[trace.AQMark] != "S1:ingress" {
+		t.Fatalf("marks: %d at %q, want >0 at S1:ingress", counts[trace.AQMark], where[trace.AQMark])
+	}
+	if counts[trace.Send] < counts[trace.Recv] {
+		t.Fatalf("more deliveries (%d) than sends (%d)", counts[trace.Recv], counts[trace.Send])
+	}
+
+	// Detach: the components must go quiet.
+	d.Left[0].SetTrace(nil)
+	d.Right[0].SetTrace(nil)
+	d.S1.SetTrace(nil)
+	before := ring.Recorded
+	s2 := transport.NewSender(d.Left[0], d.Right[0], 0, cc.NewCubic(),
+		transport.Options{IngressAQ: 1})
+	s2.Start(0)
+	eng.RunUntil(eng.Now() + 5*sim.Millisecond)
+	if ring.Recorded != before {
+		t.Fatalf("detached components recorded %d events", ring.Recorded-before)
+	}
+
+	// Nop swallows everything without touching the ring.
+	trace.Nop.Record(trace.Event{Kind: trace.Send})
+}

@@ -58,6 +58,21 @@ type Event struct {
 	Where string
 }
 
+// Sink consumes trace events. Hosts, switches and AQ tables accept a Sink
+// via their SetTrace methods and emit into it on the hot path behind a nil
+// check, so detached components pay one branch per packet and nothing else.
+type Sink interface {
+	Record(Event)
+}
+
+// Nop is a Sink that discards every event. Use it to keep trace wiring in
+// place (e.g. in a table-driven test) while recording nothing.
+var Nop Sink = nopSink{}
+
+type nopSink struct{}
+
+func (nopSink) Record(Event) {}
+
 // Ring is a bounded event buffer: when full, the oldest events are
 // overwritten, so attaching it to a long run keeps the tail.
 type Ring struct {
@@ -76,6 +91,9 @@ func NewRing(n int) *Ring {
 	}
 	return &Ring{buf: make([]Event, n)}
 }
+
+// Record implements Sink.
+func (r *Ring) Record(e Event) { r.Add(e) }
 
 // Add records an event.
 func (r *Ring) Add(e Event) {

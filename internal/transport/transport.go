@@ -106,6 +106,11 @@ type Sender struct {
 	// OnComplete, when set, fires once when the last byte is acked.
 	OnComplete func(now sim.Time)
 
+	// trySendFn and onTimeoutFn are the method values the timers fire;
+	// cached once so re-arming a timer allocates no closure.
+	trySendFn   func()
+	onTimeoutFn func()
+
 	// Counters for tests and reports.
 	SentPackets  uint64
 	Retransmits  uint64
@@ -137,6 +142,8 @@ func NewSender(src, dst *topo.Host, size int64, alg cc.Algorithm, opt Options) *
 		rto:   10 * sim.Millisecond,
 		state: make(map[int64]uint8),
 	}
+	s.trySendFn = s.trySend
+	s.onTimeoutFn = s.onTimeout
 	s.receiver = newReceiver(s)
 	src.Register(s.flow, s)
 	dst.Register(s.flow, s.receiver)
@@ -163,7 +170,7 @@ func (s *Sender) SRTT() sim.Time { return s.srtt }
 
 // Start schedules the first transmission after the given delay.
 func (s *Sender) Start(after sim.Time) {
-	s.startEv = s.eng.After(after, func() { s.trySend() })
+	s.startEv = s.eng.After(after, s.trySendFn)
 }
 
 // Stop halts a long-lived flow: timers are cancelled and the handlers
@@ -209,8 +216,7 @@ func (s *Sender) trySend() {
 		now := s.eng.Now()
 		for float64(s.pipe) < w {
 			if now < s.nextPaced {
-				s.pacedEv.Cancel()
-				s.pacedEv = s.eng.At(s.nextPaced, s.trySend)
+				s.pacedEv = s.eng.Reschedule(s.pacedEv, s.nextPaced, s.trySendFn)
 				return
 			}
 			var sent int
@@ -237,8 +243,7 @@ func (s *Sender) trySend() {
 	}
 	now := s.eng.Now()
 	if now < s.nextPaced {
-		s.pacedEv.Cancel()
-		s.pacedEv = s.eng.At(s.nextPaced, s.trySend)
+		s.pacedEv = s.eng.Reschedule(s.pacedEv, s.nextPaced, s.trySendFn)
 		return
 	}
 	if seq, ok := s.popRtx(); ok {
@@ -367,15 +372,15 @@ func (s *Sender) advanceLossScan() {
 	}
 }
 
-// armRTO (re)schedules the retransmission timer.
+// armRTO (re)schedules the retransmission timer, reusing the one Event
+// object for the life of the flow instead of cancel-and-reallocate.
 func (s *Sender) armRTO() {
-	s.rtoEv.Cancel()
 	timeout := s.rto << s.backoff
 	if timeout > rtoMax {
 		timeout = rtoMax
 	}
 	s.rtoPending = true
-	s.rtoEv = s.eng.After(timeout, s.onTimeout)
+	s.rtoEv = s.eng.RescheduleAfter(s.rtoEv, timeout, s.onTimeoutFn)
 }
 
 // cancelRTO stops the pending timer.

@@ -187,12 +187,12 @@ func TestAQECNFeedbackForDCTCP(t *testing.T) {
 	if gbps < 2.5 || gbps > 3.3 {
 		t.Fatalf("AQ/ECN DCTCP achieved %.2f Gbps, want ~3", gbps)
 	}
-	aq := d.S1.Ingress.Lookup(1)
-	if aq.Marks == 0 {
+	st := d.S1.Ingress.Lookup(1).Stats()
+	if st.Marks == 0 {
 		t.Fatal("ECN-type AQ produced no marks")
 	}
-	if aq.Drops > aq.Arrived/10 {
-		t.Fatalf("ECN-type AQ dropped too much: %d of %d", aq.Drops, aq.Arrived)
+	if st.Drops > st.Arrived/10 {
+		t.Fatalf("ECN-type AQ dropped too much: %d of %d", st.Drops, st.Arrived)
 	}
 	s.Stop()
 }

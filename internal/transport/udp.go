@@ -22,6 +22,7 @@ type UDPSender struct {
 
 	interval sim.Time
 	ev       *sim.Event
+	tickFn   func()
 	running  bool
 	seq      int64
 
@@ -65,6 +66,7 @@ func NewUDPSender(src, dst *topo.Host, rate units.BitRate, opt Options) *UDPSend
 	if u.interval <= 0 {
 		u.interval = 1
 	}
+	u.tickFn = u.tick
 	dst.Register(u.flow, u.sink)
 	return u
 }
@@ -78,7 +80,7 @@ func (u *UDPSender) Sink() *UDPSink { return u.sink }
 // Start begins transmission after the given delay.
 func (u *UDPSender) Start(after sim.Time) {
 	u.running = true
-	u.ev = u.eng.After(after, u.tick)
+	u.ev = u.eng.RescheduleAfter(u.ev, after, u.tickFn)
 }
 
 // Stop halts transmission.
@@ -98,5 +100,6 @@ func (u *UDPSender) tick() {
 	u.seq += int64(u.mss)
 	u.SentPackets++
 	u.src.Send(p)
-	u.ev = u.eng.After(u.interval, u.tick)
+	// Reschedule reuses the one tick event for the life of the sender.
+	u.ev = u.eng.RescheduleAfter(u.ev, u.interval, u.tickFn)
 }

@@ -1,0 +1,33 @@
+// Simulation-core benchmarks: the hot path a packet takes through the
+// simulator — engine events, pipes, physical queues, AQ pipelines,
+// transport. The scenarios live in internal/benchcore so that
+// `cmd/aqsim -benchcore` records the exact same workloads into
+// BENCH_simcore.json and the perf trajectory accumulates per PR.
+package aqueue_test
+
+import (
+	"testing"
+
+	"aqueue/internal/benchcore"
+	"aqueue/internal/sim"
+)
+
+// BenchmarkSingleBottleneckForwarding is the headline forwarding benchmark:
+// one op is a 10 ms single-bottleneck run. ns/op and allocs/op divided by
+// the pkts metric give the per-packet cost.
+func BenchmarkSingleBottleneckForwarding(b *testing.B) {
+	b.ReportAllocs()
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		pkts = benchcore.RunSingleBottleneck(10 * sim.Millisecond)
+	}
+	b.ReportMetric(float64(pkts), "pkts")
+}
+
+// BenchmarkEngineChurn measures the event core in isolation under the same
+// self-perpetuating timer workload -benchcore uses; one op is one fired
+// event.
+func BenchmarkEngineChurn(b *testing.B) {
+	b.ReportAllocs()
+	benchcore.RunEngineChurn(b.N, 1024)
+}
