@@ -60,13 +60,31 @@ func runBenchCore(parallel int, path string) {
 	if err != nil {
 		fatalf("building sweep jobs: %v", err)
 	}
-	workers := effectiveWorkers(parallel, len(jobs))
-	fmt.Printf("benchcore: quick sweep, %d jobs, sequential then %d workers\n", len(jobs), workers)
-	sweep := harness.RunBench(jobs, workers)
-	fmt.Printf("  sequential %v, parallel %v (speedup %.2fx, identical=%v)\n",
+	// The sweep's whole point is sequential vs parallel, so -parallel 1
+	// (the global default) means "as wide as the machine allows", capped
+	// at 4 to keep the recorded configuration comparable across hosts.
+	// RunBench itself refuses worker counts beyond GOMAXPROCS.
+	workers := parallel
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+	}
+	fmt.Printf("benchcore: quick sweep, %d jobs, sequential then %d workers (GOMAXPROCS=%d)\n",
+		len(jobs), workers, runtime.GOMAXPROCS(0))
+	if runtime.GOMAXPROCS(0) < 4 {
+		fmt.Printf("  [warning: GOMAXPROCS=%d — a multicore speedup cannot be demonstrated on this host]\n",
+			runtime.GOMAXPROCS(0))
+	}
+	sweep, err := harness.RunBench(jobs, workers)
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	fmt.Printf("  sequential %v, parallel %v (speedup %.2fx at %d/%d workers, utilization %.0f%%, identical=%v)\n",
 		time.Duration(sweep.SequentialNS).Round(time.Millisecond),
 		time.Duration(sweep.ParallelNS).Round(time.Millisecond),
-		sweep.Speedup, sweep.Identical)
+		sweep.Speedup, sweep.Workers, sweep.RequestedWorkers, 100*sweep.Utilization, sweep.Identical)
 
 	rec := coreRecord{
 		Schema:     BenchCoreSchema,

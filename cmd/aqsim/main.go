@@ -136,10 +136,13 @@ func runBench(jobs []harness.Job, parallel int, path string) {
 	workers := effectiveWorkers(parallel, len(jobs))
 	fmt.Printf("benchmark: %d jobs, sequential then %d workers (GOMAXPROCS=%d)\n",
 		len(jobs), workers, runtime.GOMAXPROCS(0))
-	b := harness.RunBench(jobs, workers)
+	b, err := harness.RunBench(jobs, workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	fmt.Printf("sequential: %v\n", time.Duration(b.SequentialNS).Round(time.Millisecond))
-	fmt.Printf("parallel:   %v (speedup %.2fx, identical=%v)\n",
-		time.Duration(b.ParallelNS).Round(time.Millisecond), b.Speedup, b.Identical)
+	fmt.Printf("parallel:   %v (speedup %.2fx, utilization %.0f%%, identical=%v)\n",
+		time.Duration(b.ParallelNS).Round(time.Millisecond), b.Speedup, 100*b.Utilization, b.Identical)
 	if err := b.WriteJSONFile(path); err != nil {
 		fatalf("writing %s: %v", path, err)
 	}

@@ -1,0 +1,103 @@
+// Command benchdelta compares two BENCH_simcore.json records and prints a
+// markdown table of the interesting deltas — forwarding ns/packet,
+// allocs/op, engine ns/event, and sweep speedup/utilization. CI runs it
+// with the committed record and a freshly regenerated one and appends the
+// output to the job summary; it is informational and never fails on a
+// slow result (shared runners are noisy), only on unreadable input.
+//
+// Usage:
+//
+//	benchdelta OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// record mirrors the parts of the aq-benchcore/v1 document the delta
+// report needs; unknown fields are ignored so schema growth stays
+// backward compatible.
+type record struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Current    metrics `json:"current"`
+}
+
+type metrics struct {
+	Engine struct {
+		NsPerEvent float64 `json:"ns_per_event"`
+	} `json:"engine"`
+	Forwarding struct {
+		NsPerPacket float64 `json:"ns_per_packet"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"forwarding"`
+	Sweep *struct {
+		Workers     int     `json:"workers"`
+		Speedup     float64 `json:"speedup"`
+		Utilization float64 `json:"utilization"`
+		Identical   bool    `json:"identical"`
+	} `json:"sweep"`
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRec, err := read(os.Args[1])
+	if err != nil {
+		fatalf("%s: %v", os.Args[1], err)
+	}
+	newRec, err := read(os.Args[2])
+	if err != nil {
+		fatalf("%s: %v", os.Args[2], err)
+	}
+
+	fmt.Printf("### Simulation-core benchmark delta\n\n")
+	fmt.Printf("Baseline `%s` (%s, GOMAXPROCS=%d) vs fresh `%s` (%s, GOMAXPROCS=%d).\n\n",
+		os.Args[1], oldRec.GoVersion, oldRec.GOMAXPROCS,
+		os.Args[2], newRec.GoVersion, newRec.GOMAXPROCS)
+	fmt.Printf("| metric | baseline | fresh | delta |\n")
+	fmt.Printf("|---|---:|---:|---:|\n")
+	row("forwarding ns/packet", oldRec.Current.Forwarding.NsPerPacket, newRec.Current.Forwarding.NsPerPacket)
+	row("forwarding allocs/op", oldRec.Current.Forwarding.AllocsPerOp, newRec.Current.Forwarding.AllocsPerOp)
+	row("engine ns/event", oldRec.Current.Engine.NsPerEvent, newRec.Current.Engine.NsPerEvent)
+	if o, n := oldRec.Current.Sweep, newRec.Current.Sweep; o != nil && n != nil {
+		row(fmt.Sprintf("sweep speedup (%d→%d workers)", o.Workers, n.Workers), o.Speedup, n.Speedup)
+		row("sweep utilization", o.Utilization, n.Utilization)
+		fmt.Printf("| sweep identical | %v | %v | |\n", o.Identical, n.Identical)
+	}
+	fmt.Println()
+	fmt.Println("_Lower is better for the first three rows; numbers from shared runners are noisy._")
+}
+
+func row(name string, oldV, newV float64) {
+	delta := "n/a"
+	if oldV != 0 {
+		delta = fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+	}
+	fmt.Printf("| %s | %.2f | %.2f | %s |\n", name, oldV, newV, delta)
+}
+
+func read(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	if r.Schema == "" {
+		return nil, fmt.Errorf("no schema field — not a benchcore record")
+	}
+	return &r, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Dense-table equivalence tests at simulator scope: the direct-indexed
+// forwarding and AQ tables are a layout change only — a run on the dense
+// fast paths must fingerprint byte-identically to the same run forced onto
+// the map paths, across every registered quick-sweep scenario.
+package aqueue_test
+
+import (
+	"testing"
+
+	"aqueue/internal/core"
+	"aqueue/internal/experiments"
+	"aqueue/internal/harness"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+)
+
+// sweepJobs builds one job per registered experiment at quick parameters
+// with the horizon cut further, the same trick the pool lifecycle tests
+// use: equivalence needs identical runs, not converged ones.
+func sweepJobs(t *testing.T) []harness.Job {
+	t.Helper()
+	base := experiments.DefaultParams(true)
+	base.Horizon = 20 * sim.Millisecond
+	base.Flows = 4
+	jobs, err := harness.Jobs(harness.Names(), nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestDenseRunsFingerprintMatchMap is the dense-layout determinism gate:
+// switching Table and Switch lookups between slice indexing and map probes
+// must never influence a result — same drops, same marks, same seq
+// consumption, same ordering.
+func TestDenseRunsFingerprintMatchMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep twice")
+	}
+	defer core.SetDenseTables(true)
+	defer topo.SetDenseForwarding(true)
+
+	jobs := sweepJobs(t)
+	if len(jobs) < 14 {
+		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
+	}
+
+	core.SetDenseTables(true)
+	topo.SetDenseForwarding(true)
+	dense := (&harness.Pool{Workers: 1}).Run(jobs)
+
+	core.SetDenseTables(false)
+	topo.SetDenseForwarding(false)
+	mapped := (&harness.Pool{Workers: 1}).Run(jobs)
+
+	for i := range dense {
+		df, mf := harness.Fingerprint(dense[i]), harness.Fingerprint(mapped[i])
+		if df != mf {
+			t.Errorf("%s: dense and map fingerprints differ\ndense: %s\nmap:   %s",
+				dense[i].Name, df, mf)
+		}
+	}
+}

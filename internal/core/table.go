@@ -5,10 +5,24 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"aqueue/internal/ident"
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
 	"aqueue/internal/trace"
 )
+
+// denseTables gates the direct-indexed fast path. It is consulted only when
+// a table's contents change (Deploy/Remove), never per packet, so toggling
+// it mid-run affects only tables built afterwards. On by default; the
+// fingerprint property tests flip it off to prove the map path is
+// byte-identical.
+var denseTables atomic.Bool
+
+func init() { denseTables.Store(true) }
+
+// SetDenseTables enables or disables the dense AQ lookup layout for tables
+// (re)built afterwards, returning the previous setting.
+func SetDenseTables(on bool) bool { return denseTables.Swap(on) }
 
 // Table is the per-pipeline AQ lookup table of a switch (§4.2): a map from
 // the AQ ID carried in the packet header to the deployed AQ state. A switch
@@ -20,6 +34,14 @@ import (
 // exceed their allocations while the network is idle.
 type Table struct {
 	aqs map[packet.AQID]*AQ
+
+	// dense, when non-nil, is a direct-indexed mirror of aqs covering
+	// [0, maxID]: the hot path indexes it with the packet's tag instead of
+	// hashing. It is rebuilt on every Deploy/Remove and only kept while
+	// ident.Dense approves the ID range (sparse deploys fall back to the
+	// map). Both layouts hold the same *AQ pointers, so which one serves a
+	// lookup is unobservable in results.
+	dense []*AQ
 
 	// Bypass, when non-nil, is consulted per packet; a true return skips
 	// AQ processing entirely (work-conserving mode, §6).
@@ -66,11 +88,37 @@ func NewTable() *Table {
 func (t *Table) Deploy(cfg Config) *AQ {
 	aq := New(cfg)
 	t.aqs[cfg.ID] = aq
+	t.rebuild()
 	return aq
 }
 
 // Remove undeploys the AQ with the given ID.
-func (t *Table) Remove(id packet.AQID) { delete(t.aqs, id) }
+func (t *Table) Remove(id packet.AQID) {
+	delete(t.aqs, id)
+	t.rebuild()
+}
+
+// rebuild refreshes the dense mirror after a membership change.
+func (t *Table) rebuild() {
+	t.dense = nil
+	if !denseTables.Load() || len(t.aqs) == 0 {
+		return
+	}
+	maxID := -1
+	for id := range t.aqs {
+		if int(id) > maxID {
+			maxID = int(id)
+		}
+	}
+	if !ident.Dense(maxID, len(t.aqs)) {
+		return
+	}
+	d := make([]*AQ, maxID+1)
+	for id, aq := range t.aqs {
+		d[id] = aq
+	}
+	t.dense = d
+}
 
 // Lookup returns the AQ deployed under id, or nil.
 func (t *Table) Lookup(id packet.AQID) *AQ { return t.aqs[id] }
@@ -101,7 +149,14 @@ func (t *Table) Process(now sim.Time, id packet.AQID, p *packet.Packet) Verdict 
 		return Pass
 	}
 	t.lookups.Add(1)
-	aq := t.aqs[id]
+	var aq *AQ
+	if t.dense != nil {
+		if int(id) < len(t.dense) {
+			aq = t.dense[id]
+		}
+	} else {
+		aq = t.aqs[id]
+	}
 	if aq == nil {
 		t.misses.Add(1)
 		return Pass

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"runtime"
@@ -10,7 +11,7 @@ import (
 
 // BenchSchema identifies the JSON layout of a Bench. Bump on any
 // incompatible change.
-const BenchSchema = "aqueue/harness-bench/v1"
+const BenchSchema = "aqueue/harness-bench/v2"
 
 // BenchRun is the per-job timing of the parallel pass.
 type BenchRun struct {
@@ -24,13 +25,23 @@ type BenchRun struct {
 // trajectory artifact (BENCH_harness.json) tracks SequentialNS,
 // ParallelNS, and Speedup across PRs.
 type Bench struct {
-	Schema       string  `json:"schema"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	Workers      int     `json:"workers"`
-	Jobs         int     `json:"jobs"`
-	SequentialNS int64   `json:"sequential_ns"`
-	ParallelNS   int64   `json:"parallel_ns"`
-	Speedup      float64 `json:"speedup"`
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// RequestedWorkers is what the caller asked for; Workers is what the
+	// parallel pass actually used (capped at the job count). Recording
+	// both keeps the artifact honest about how wide the pass really ran.
+	RequestedWorkers int     `json:"requested_workers"`
+	Workers          int     `json:"workers"`
+	Jobs             int     `json:"jobs"`
+	SequentialNS     int64   `json:"sequential_ns"`
+	ParallelNS       int64   `json:"parallel_ns"`
+	Speedup          float64 `json:"speedup"`
+	// WorkerBusyNS is each parallel worker's time spent inside jobs;
+	// Utilization is the mean fraction of the parallel wall the workers
+	// were busy (1.0 = perfectly balanced saturation). A low value with a
+	// low speedup distinguishes "badly balanced batch" from "no cores".
+	WorkerBusyNS []int64 `json:"worker_busy_ns"`
+	Utilization  float64 `json:"utilization"`
 	// Identical reports whether the parallel pass produced byte-identical
 	// tables and metrics to the sequential pass — the determinism check.
 	Identical bool       `json:"identical"`
@@ -39,30 +50,51 @@ type Bench struct {
 
 // RunBench executes jobs twice — once on a single worker, once on the
 // given worker count — and reports the timing ratio plus whether the two
-// passes produced identical results.
-func RunBench(jobs []Job, workers int) *Bench {
+// passes produced identical results. workers < 1 selects GOMAXPROCS.
+// Asking for more workers than GOMAXPROCS is an error, not a benchmark:
+// the runtime would multiplex them onto fewer threads and the recorded
+// "speedup" would be fiction (a committed artifact once showed 4 workers
+// at 0.99x on GOMAXPROCS=1 for exactly this reason).
+func RunBench(jobs []Job, workers int) (*Bench, error) {
+	procs := runtime.GOMAXPROCS(0)
 	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = procs
+	}
+	if workers > procs {
+		return nil, fmt.Errorf("harness: benchmarking %d workers with GOMAXPROCS=%d would record a meaningless speedup; raise GOMAXPROCS or lower the worker count", workers, procs)
+	}
+	requested := workers
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
 	seqStart := time.Now()
 	seq := (&Pool{Workers: 1}).Run(jobs)
 	seqNS := time.Since(seqStart).Nanoseconds()
 
 	parStart := time.Now()
-	par := (&Pool{Workers: workers}).Run(jobs)
+	par, busy := (&Pool{Workers: workers}).RunTracked(jobs)
 	parNS := time.Since(parStart).Nanoseconds()
 
 	b := &Bench{
-		Schema:       BenchSchema,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Workers:      workers,
-		Jobs:         len(jobs),
-		SequentialNS: seqNS,
-		ParallelNS:   parNS,
-		Identical:    true,
+		Schema:           BenchSchema,
+		GOMAXPROCS:       procs,
+		RequestedWorkers: requested,
+		Workers:          workers,
+		Jobs:             len(jobs),
+		SequentialNS:     seqNS,
+		ParallelNS:       parNS,
+		WorkerBusyNS:     busy,
+		Identical:        true,
 	}
 	if parNS > 0 {
 		b.Speedup = float64(seqNS) / float64(parNS)
+	}
+	if parNS > 0 && len(busy) > 0 {
+		var busySum int64
+		for _, bn := range busy {
+			busySum += bn
+		}
+		b.Utilization = float64(busySum) / (float64(parNS) * float64(len(busy)))
 	}
 	for i, r := range par {
 		b.Runs = append(b.Runs, BenchRun{
@@ -75,7 +107,7 @@ func RunBench(jobs []Job, workers int) *Bench {
 			b.Identical = false
 		}
 	}
-	return b
+	return b, nil
 }
 
 // Fingerprint digests everything deterministic about a result — name,

@@ -47,6 +47,14 @@ type Pool struct {
 // A run that returns an error or panics yields a Result with Error set;
 // the rest of the batch is unaffected.
 func (pl *Pool) Run(jobs []Job) []*Result {
+	results, _ := pl.RunTracked(jobs)
+	return results
+}
+
+// RunTracked is Run plus per-worker accounting: the second return value
+// holds each worker's cumulative time inside jobs, which RunBench turns
+// into a utilization figure for the benchmark artifact.
+func (pl *Pool) RunTracked(jobs []Job) ([]*Result, []int64) {
 	workers := pl.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -56,25 +64,28 @@ func (pl *Pool) Run(jobs []Job) []*Result {
 	}
 	results := make([]*Result, len(jobs))
 	if len(jobs) == 0 {
-		return results
+		return results, nil
 	}
+	busy := make([]int64, workers)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
+				start := time.Now()
 				results[i] = runOne(jobs[i])
+				busy[w] += time.Since(start).Nanoseconds()
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	return results
+	return results, busy
 }
 
 // runOne executes one job with wall-clock accounting and panic recovery.

@@ -107,6 +107,11 @@ type Packet struct {
 // pool; whoever ends its ownership chain must call Release.
 func NewData(src, dst HostID, flow FlowID, seq int64, payload int) *Packet {
 	p := Get()
+	fillData(p, src, dst, flow, seq, payload)
+	return p
+}
+
+func fillData(p *Packet, src, dst HostID, flow FlowID, seq int64, payload int) {
 	p.Src = src
 	p.Dst = dst
 	p.Flow = flow
@@ -114,7 +119,6 @@ func NewData(src, dst HostID, flow FlowID, seq int64, payload int) *Packet {
 	p.Size = payload + HeaderBytes
 	p.Seq = seq
 	p.Payload = payload
-	return p
 }
 
 // NewAck builds a header-only acknowledgement for the given flow. The
@@ -122,13 +126,17 @@ func NewData(src, dst HostID, flow FlowID, seq int64, payload int) *Packet {
 // Release.
 func NewAck(src, dst HostID, flow FlowID, ack int64) *Packet {
 	p := Get()
+	fillAck(p, src, dst, flow, ack)
+	return p
+}
+
+func fillAck(p *Packet, src, dst HostID, flow FlowID, ack int64) {
 	p.Src = src
 	p.Dst = dst
 	p.Flow = flow
 	p.Kind = Ack
 	p.Size = HeaderBytes
 	p.Ack = ack
-	return p
 }
 
 // String renders a compact description for logs and test failures.

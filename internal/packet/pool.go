@@ -3,6 +3,8 @@ package packet
 import (
 	"sync"
 	"sync/atomic"
+
+	"aqueue/internal/sim"
 )
 
 // Steady-state forwarding must not allocate: every data segment and ACK
@@ -57,4 +59,96 @@ func Release(p *Packet) {
 	}
 	debugRelease(p)
 	pool.Put(p)
+}
+
+// maxEngineFree caps an engine-local free list; the overflow spills to the
+// shared sync.Pool. A single-bottleneck run keeps a few hundred packets in
+// flight, so the cap is generous without pinning unbounded memory per
+// engine.
+const maxEngineFree = 4096
+
+// Pool is an engine-local packet free list layered over the shared
+// sync.Pool. The simulator is single-goroutine per engine, so the list
+// needs no locking, and parallel harness workers recycling through their
+// own engine's Pool never contend on — or bounce cache lines through — the
+// process-wide pool; the sync.Pool is only the spill/refill tier. A Pool
+// honours SetPooling and the aqdebug poisoning exactly like the package
+// Get/Release, and packets are fully zeroed on reuse either way, so which
+// tier served an allocation is unobservable in results.
+type Pool struct {
+	free []*Packet
+}
+
+// PoolFor returns the engine's packet free list, creating it on first use.
+// It is stored in the engine's opaque pool slot, so components built on the
+// same engine share one list.
+func PoolFor(e *sim.Engine) *Pool {
+	slot := e.PacketPoolSlot()
+	if p, ok := (*slot).(*Pool); ok {
+		return p
+	}
+	p := &Pool{}
+	*slot = p
+	return p
+}
+
+// Get returns a zeroed packet, preferring the engine-local free list.
+func (pl *Pool) Get() *Packet {
+	if !pooling.Load() {
+		return new(Packet)
+	}
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*p = Packet{}
+		debugAcquire(p)
+		return p
+	}
+	p := pool.Get().(*Packet)
+	*p = Packet{}
+	debugAcquire(p)
+	return p
+}
+
+// Release returns a packet to the engine-local free list (spilling to the
+// shared pool past the cap). Same ownership contract as the package-level
+// Release.
+func (pl *Pool) Release(p *Packet) {
+	if p == nil || !pooling.Load() {
+		return
+	}
+	debugRelease(p)
+	if len(pl.free) < maxEngineFree {
+		pl.free = append(pl.free, p)
+		return
+	}
+	pool.Put(p)
+}
+
+// Drain spills the whole free list to the shared pool. The engine calls it
+// (via interface assertion — sim cannot import packet) when RunUntil
+// returns, so packets recycled during a run outlive their engine and the
+// next run starts from a warm shared pool instead of the allocator.
+func (pl *Pool) Drain() {
+	for i, p := range pl.free {
+		pool.Put(p)
+		pl.free[i] = nil
+	}
+	pl.free = pl.free[:0]
+}
+
+// NewData allocates a data segment from this pool; see the package-level
+// NewData for field semantics.
+func (pl *Pool) NewData(src, dst HostID, flow FlowID, seq int64, payload int) *Packet {
+	p := pl.Get()
+	fillData(p, src, dst, flow, seq, payload)
+	return p
+}
+
+// NewAck allocates an ACK from this pool; see the package-level NewAck.
+func (pl *Pool) NewAck(src, dst HostID, flow FlowID, cumAck int64) *Packet {
+	p := pl.Get()
+	fillAck(p, src, dst, flow, cumAck)
+	return p
 }

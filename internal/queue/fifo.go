@@ -116,6 +116,17 @@ func (q *FIFO) Push(now sim.Time, p *packet.Packet) bool {
 	return true
 }
 
+// PopDrained removes the head entry without touching the packet it holds.
+// A pipe running the virtual-transmitter fast path delivers packets
+// downstream at enqueue time and drains the queue's accounting lazily; by
+// then the head packet may already have been recycled, so the caller —
+// which recorded the size at enqueue — supplies it instead of Pop reading
+// a possibly-reused object.
+func (q *FIFO) PopDrained(size int) {
+	q.packets.pop()
+	q.bytes -= size
+}
+
 // Pop dequeues the head packet, or returns nil when empty.
 func (q *FIFO) Pop() *packet.Packet {
 	p := q.packets.pop()

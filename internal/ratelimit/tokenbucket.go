@@ -18,6 +18,7 @@ import (
 // a byte limit, like an HTB qdisc buffer) and are released as tokens refill.
 type TokenBucket struct {
 	eng    *sim.Engine
+	pool   *packet.Pool
 	rate   float64 // bytes per nanosecond
 	burst  float64 // bucket depth in bytes
 	tokens float64
@@ -42,6 +43,7 @@ func NewTokenBucket(eng *sim.Engine, rate units.BitRate, burst int, out func(*pa
 	}
 	return &TokenBucket{
 		eng:    eng,
+		pool:   packet.PoolFor(eng),
 		rate:   rate.BytesPerNano(),
 		burst:  float64(burst),
 		tokens: float64(burst),
@@ -78,7 +80,7 @@ func (tb *TokenBucket) Submit(p *packet.Packet) {
 	}
 	if !tb.q.Push(tb.eng.Now(), p) {
 		tb.Dropped++
-		packet.Release(p)
+		tb.pool.Release(p)
 		return
 	}
 	tb.schedule()

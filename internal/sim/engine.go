@@ -16,8 +16,8 @@
 //   - timers can be rescheduled in place (Reschedule), so a retransmission
 //     timer that re-arms on every ACK reuses one Event allocation for the
 //     life of the flow;
-//   - fire-and-forget callbacks (AtDetached/AfterDetached) hand the Event
-//     object back to an engine-owned free list when they fire, making
+//   - fire-and-forget callbacks (AtDetached/AfterDetached) live inline in
+//     the heap slots — no Event object exists for them — making
 //     steady-state packet forwarding allocation-free.
 package sim
 
@@ -61,17 +61,10 @@ type Event struct {
 	seq uint64
 	eng *Engine
 
-	// Exactly one of fn and fnArg is set. The argful form lets hot-path
-	// callers reuse one long-lived closure instead of capturing per packet.
-	fn    func()
-	fnArg func(any)
-	arg   any
+	fn func()
 
 	index     int // heap index, -1 once popped
 	cancelled bool
-	// detached events were scheduled with AtDetached: no caller holds a
-	// handle, so the engine recycles the object once it fires.
-	detached bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
@@ -90,21 +83,63 @@ func (e *Event) Cancel() {
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
 
+// Pending reports whether the event is in the heap and will fire. Timer
+// owners use it to skip a Reschedule when an already-armed event fires no
+// later than needed (the lazy re-arm pattern: let it fire and re-check).
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancelled }
+
 // Time returns the instant the event is scheduled for.
 func (e *Event) Time() Time { return e.at }
+
+// The pending-event heap is stored as two parallel arrays: 16-byte keys
+// (what sift comparisons read — four children fit in one cache line) and
+// the payloads (moved in tandem, never compared). Exactly one of a
+// payload's ev and fnArg is set. Handle events (At/After/Reschedule) carry
+// an *Event so the caller can cancel or re-arm them. Detached events
+// (AtDetached) carry their callback inline: no Event object exists at all,
+// so scheduling one allocates nothing and firing one dereferences nothing.
+type heapKey struct {
+	at  Time
+	seq uint64
+}
+
+type heapVal struct {
+	ev    *Event
+	fnArg func(any)
+	arg   any
+}
+
+// setIndex records the slot's heap position in its Event; detached slots
+// have none to maintain.
+func (e *Engine) setIndex(i int) {
+	if ev := e.vals[i].ev; ev != nil {
+		ev.index = i
+	}
+}
 
 // Engine owns the simulated clock and the pending-event heap.
 type Engine struct {
 	now  Time
 	seq  uint64
-	heap []*Event // 4-ary min-heap on (at, seq)
-	dead int      // cancelled events still in the heap
-	free []*Event // recycled detached events
+	keys []heapKey // 4-ary min-heap on (at, seq)
+	vals []heapVal // payloads, parallel to keys
+	dead int       // cancelled events still in the heap
 	ids  map[string]uint64
 	// Processed counts events that have fired (not cancelled ones); it is
 	// exposed for benchmarks and sanity checks.
 	Processed uint64
+
+	// packetPool is an opaque per-engine slot the packet package uses for
+	// its engine-local free list (sim cannot import packet). See
+	// PacketPoolSlot.
+	packetPool any
 }
+
+// PacketPoolSlot returns a pointer to the engine's opaque packet-pool slot.
+// The packet package stores the engine-local free list here so parallel
+// engines never contend on the process-wide pool; nothing in sim touches
+// the value.
+func (e *Engine) PacketPoolSlot() *any { return &e.packetPool }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
@@ -148,23 +183,16 @@ func (e *Engine) After(d Time, fn func()) *Event {
 
 // AtDetached schedules fn(arg) at absolute time t without returning a
 // handle: the event cannot be cancelled or rescheduled, which is exactly
-// what lets the engine recycle the Event object the moment it fires.
-// Hot paths that schedule per-packet callbacks (transmit-done, delivery)
-// use this with one long-lived fn, so steady-state forwarding allocates
-// neither Events nor closures.
+// what lets it live inline in a heap node — no Event object is created, so
+// scheduling and firing per-packet callbacks (transmit-done, delivery)
+// allocates nothing and never touches Event memory.
 func (e *Engine) AtDetached(t Time, fn func(any), arg any) {
 	e.checkTime(t)
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &Event{}
-	}
-	*ev = Event{at: t, seq: e.seq, fnArg: fn, arg: arg, eng: e, detached: true}
+	i := len(e.keys)
+	e.keys = append(e.keys, heapKey{at: t, seq: e.seq})
+	e.vals = append(e.vals, heapVal{fnArg: fn, arg: arg})
 	e.seq++
-	e.push(ev)
+	e.up(i)
 }
 
 // AfterDetached schedules fn(arg) to run d nanoseconds from now; see
@@ -187,7 +215,7 @@ func (e *Engine) AfterDetached(d Time, fn func(any), arg any) {
 // transport keeps); passing nil ev simply schedules a new event.
 func (e *Engine) Reschedule(ev *Event, t Time, fn func()) *Event {
 	e.checkTime(t)
-	if ev == nil || ev.detached {
+	if ev == nil {
 		return e.At(t, fn)
 	}
 	if ev.cancelled {
@@ -227,19 +255,21 @@ func (e *Engine) checkTime(t Time) {
 }
 
 // Pending reports the number of live (non-cancelled) events in the heap.
-func (e *Engine) Pending() int { return len(e.heap) - e.dead }
+func (e *Engine) Pending() int { return len(e.keys) - e.dead }
 
 // Step fires the earliest pending event and returns true, or returns false
 // if the heap is empty. Cancelled events are discarded without firing.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := e.pop()
-		if ev.cancelled {
+	for len(e.keys) > 0 {
+		at := e.keys[0].at
+		v := e.vals[0]
+		e.pop()
+		if v.ev != nil && v.ev.cancelled {
 			e.dead--
 			continue
 		}
-		e.now = ev.at
-		e.fire(ev)
+		e.now = at
+		e.fire(v)
 		e.Processed++
 		return true
 	}
@@ -255,48 +285,43 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= deadline and then advances the
 // clock to the deadline. Events scheduled beyond the deadline stay pending.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.cancelled {
+	for len(e.keys) > 0 {
+		at := e.keys[0].at
+		v := e.vals[0]
+		if v.ev != nil && v.ev.cancelled {
 			e.pop()
 			e.dead--
 			continue
 		}
-		if next.at > deadline {
+		if at > deadline {
 			break
 		}
 		e.pop()
-		e.now = next.at
-		e.fire(next)
+		e.now = at
+		e.fire(v)
 		e.Processed++
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+	// Spill the engine-local packet free list back to the shared pool so a
+	// finished run's packets are not stranded with the dying engine: the
+	// next engine in the process (another benchmark iteration, the next
+	// sweep job) refills from the shared tier instead of the allocator.
+	// Once per RunUntil, not per event, so the assertion cost is noise.
+	if d, ok := e.packetPool.(interface{ Drain() }); ok {
+		d.Drain()
+	}
 }
 
-// fire invokes the event's callback, recycling detached events first (the
-// callback may immediately schedule another detached event and get the
-// same object back).
-func (e *Engine) fire(ev *Event) {
-	if ev.fnArg != nil {
-		fn, arg := ev.fnArg, ev.arg
-		if ev.detached {
-			e.recycle(ev)
-		}
-		fn(arg)
+// fire invokes the slot's callback. The slot was already popped; it is
+// passed by value so the callback may freely schedule new events.
+func (e *Engine) fire(v heapVal) {
+	if v.ev != nil {
+		v.ev.fn()
 		return
 	}
-	fn := ev.fn
-	if ev.detached {
-		e.recycle(ev)
-	}
-	fn()
-}
-
-func (e *Engine) recycle(ev *Event) {
-	*ev = Event{index: -1}
-	e.free = append(e.free, ev)
+	v.fnArg(v.arg)
 }
 
 // maybeCompact rebuilds the heap without tombstones once cancelled events
@@ -304,42 +329,42 @@ func (e *Engine) recycle(ev *Event) {
 // cancel-heavy workloads — retransmission timers under steady ACK clocking
 // — from sifting dead weight on every operation.
 func (e *Engine) maybeCompact() {
-	if e.dead < 64 || e.dead*2 <= len(e.heap) {
+	if e.dead < 64 || e.dead*2 <= len(e.keys) {
 		return
 	}
-	live := e.heap[:0]
-	for _, ev := range e.heap {
-		if ev.cancelled {
-			ev.index = -1
-			if ev.detached {
-				e.recycle(ev)
-			}
+	liveK, liveV := e.keys[:0], e.vals[:0]
+	for i, v := range e.vals {
+		if v.ev != nil && v.ev.cancelled {
+			v.ev.index = -1
 			continue
 		}
-		live = append(live, ev)
+		liveK = append(liveK, e.keys[i])
+		liveV = append(liveV, v)
 	}
-	for i := len(live); i < len(e.heap); i++ {
-		e.heap[i] = nil
+	for i := len(liveK); i < len(e.keys); i++ {
+		e.keys[i] = heapKey{}
+		e.vals[i] = heapVal{}
 	}
-	e.heap = live
+	e.keys, e.vals = liveK, liveV
 	e.dead = 0
 	// Floyd heapify: sift down every internal node.
-	if n := len(e.heap); n > 1 {
+	if n := len(e.keys); n > 1 {
 		for i := (n - 2) / 4; i >= 0; i-- {
 			e.down(i)
 		}
 	}
-	for i, ev := range e.heap {
-		ev.index = i
+	for i := range e.keys {
+		e.setIndex(i)
 	}
 }
 
 // ---------------------------------------------------------------------------
 // 4-ary index heap on (at, seq). Child c of node i is 4i+1 … 4i+4; the
 // parent of i is (i-1)/4. Shallower than a binary heap: a million pending
-// events sit 10 levels deep instead of 20.
+// events sit 10 levels deep instead of 20. Keys live inline in heapNode so
+// every comparison during a sift is a sequential read of the node array.
 
-func (e *Engine) less(a, b *Event) bool {
+func less(a, b heapKey) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -347,46 +372,53 @@ func (e *Engine) less(a, b *Event) bool {
 }
 
 func (e *Engine) push(ev *Event) {
-	ev.index = len(e.heap)
-	e.heap = append(e.heap, ev)
-	e.up(ev.index)
+	i := len(e.keys)
+	e.keys = append(e.keys, heapKey{at: ev.at, seq: ev.seq})
+	e.vals = append(e.vals, heapVal{ev: ev})
+	e.up(i) // up always runs and records the final position
 }
 
-func (e *Engine) pop() *Event {
-	h := e.heap
-	ev := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[0].index = 0
-	h[n] = nil
-	e.heap = h[:n]
-	if n > 0 {
-		e.down(0)
+// pop removes the heap root; callers copy the root's key/val first.
+func (e *Engine) pop() {
+	if ev := e.vals[0].ev; ev != nil {
+		ev.index = -1
 	}
-	ev.index = -1
-	return ev
+	n := len(e.keys) - 1
+	e.keys[0] = e.keys[n]
+	e.vals[0] = e.vals[n]
+	e.keys[n] = heapKey{}
+	e.vals[n] = heapVal{}
+	e.keys = e.keys[:n]
+	e.vals = e.vals[:n]
+	if n > 0 {
+		e.down(0) // records the moved slot's final position
+	}
 }
 
 func (e *Engine) up(i int) {
-	h := e.heap
-	ev := h[i]
+	k := e.keys
+	key := k[i]
+	val := e.vals[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !e.less(ev, h[parent]) {
+		if !less(key, k[parent]) {
 			break
 		}
-		h[i] = h[parent]
-		h[i].index = i
+		k[i] = k[parent]
+		e.vals[i] = e.vals[parent]
+		e.setIndex(i)
 		i = parent
 	}
-	h[i] = ev
-	ev.index = i
+	k[i] = key
+	e.vals[i] = val
+	e.setIndex(i)
 }
 
 func (e *Engine) down(i int) {
-	h := e.heap
-	n := len(h)
-	ev := h[i]
+	k := e.keys
+	n := len(k)
+	key := k[i]
+	val := e.vals[i]
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -398,24 +430,28 @@ func (e *Engine) down(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if e.less(h[c], h[min]) {
+			if less(k[c], k[min]) {
 				min = c
 			}
 		}
-		if !e.less(h[min], ev) {
+		if !less(k[min], key) {
 			break
 		}
-		h[i] = h[min]
-		h[i].index = i
+		k[i] = k[min]
+		e.vals[i] = e.vals[min]
+		e.setIndex(i)
 		i = min
 	}
-	h[i] = ev
-	ev.index = i
+	k[i] = key
+	e.vals[i] = val
+	e.setIndex(i)
 }
 
-// fix restores heap order after the event at index i changed its key.
+// fix restores heap order after the event at index i changed its key,
+// refreshing the inline key from the event first.
 func (e *Engine) fix(i int) {
-	ev := e.heap[i]
+	ev := e.vals[i].ev
+	e.keys[i] = heapKey{at: ev.at, seq: ev.seq}
 	e.up(i)
 	e.down(ev.index)
 }

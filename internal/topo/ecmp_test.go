@@ -1,0 +1,80 @@
+package topo
+
+import (
+	"testing"
+
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/units"
+)
+
+// TestFlowHashSpreadsConsecutiveFlows checks the ECMP hash against its
+// actual workload: flow IDs are allocated consecutively, so the splitmix64
+// finalizer must spread a contiguous block near-uniformly over a port
+// group rather than striping it.
+func TestFlowHashSpreadsConsecutiveFlows(t *testing.T) {
+	for _, groupSize := range []uint64{2, 3, 4, 8} {
+		const flows = 4096
+		counts := make([]int, groupSize)
+		for f := 0; f < flows; f++ {
+			counts[flowHash(packet.FlowID(f))%groupSize]++
+		}
+		want := float64(flows) / float64(groupSize)
+		for port, n := range counts {
+			// ±25% of the expected share is ~9 standard deviations for
+			// these sizes — loose enough to never flake, tight enough to
+			// catch a degenerate hash.
+			if float64(n) < 0.75*want || float64(n) > 1.25*want {
+				t.Errorf("group of %d: port %d got %d of %d flows (want ≈%.0f)",
+					groupSize, port, n, flows, want)
+			}
+		}
+	}
+}
+
+// TestDenseECMPMatchesMapPath pins the dense forwarding table to the map
+// path it replaces: for every (dst, flow), the slice-indexed lookup must
+// resolve the identical pipe — exact-route precedence included.
+func TestDenseECMPMatchesMapPath(t *testing.T) {
+	defer SetDenseForwarding(true)
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, "ecmp")
+	sink := &collector{eng: eng}
+	for i := 0; i < 4; i++ {
+		sw.AddPort(NewPipe(eng, units.Gbps, 0, 0, 0, sink))
+	}
+	sw.AddECMPRoute(1, 0, 1, 2, 3)
+	sw.AddECMPRoute(2, 2, 3)
+	sw.AddRoute(2, 0) // exact route shadows dst 2's group on both paths
+	sw.AddRoute(3, 1)
+
+	for dst := packet.HostID(1); dst <= 4; dst++ {
+		for f := 0; f < 512; f++ {
+			p := &packet.Packet{Dst: dst, Flow: packet.FlowID(f)}
+
+			SetDenseForwarding(true)
+			sw.fwdDirty = true
+			dense := sw.outPipe(p)
+			if sw.fwd == nil {
+				t.Fatal("dense forwarding table not built for a dense topology")
+			}
+
+			SetDenseForwarding(false)
+			sw.fwdDirty = true
+			mapped := sw.outPipe(p)
+			if sw.fwd != nil {
+				t.Fatal("map path still using the dense table")
+			}
+
+			if dense != mapped {
+				t.Fatalf("dst %d flow %d: dense picked %p, map picked %p", dst, f, dense, mapped)
+			}
+			if dst == 4 && dense != nil {
+				t.Fatalf("dst 4 has no route but resolved a pipe")
+			}
+			if dst == 2 && dense != sw.ports[0] {
+				t.Fatalf("exact route for dst 2 did not shadow its ECMP group")
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package topo
 import (
 	"strconv"
 
+	"aqueue/internal/ident"
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
 	"aqueue/internal/trace"
@@ -25,9 +26,19 @@ type SendFilter func(p *packet.Packet) bool
 // outbound packets through an optional SendFilter.
 type Host struct {
 	eng      *sim.Engine
+	pool     *packet.Pool
 	id       packet.HostID
 	out      *Pipe
 	handlers map[packet.FlowID]FlowHandler
+
+	// dense, when non-nil, direct-indexes handlers by flow ID. Flow IDs
+	// come from the engine's "transport.flow" sequence, so they are dense
+	// per engine; per host the range stays tight enough for a flat slice
+	// until flows churn far past the live set, at which point ident.Dense
+	// rejects the layout and lookups fall back to the map. Rebuilt lazily
+	// (dirty) so registration bursts at setup cost one rebuild.
+	dense []FlowHandler
+	dirty bool
 
 	// Filter, when non-nil, intercepts outbound packets (see SendFilter).
 	Filter SendFilter
@@ -51,7 +62,12 @@ type Host struct {
 
 // NewHost returns a host with the given ID; attach its uplink with SetUplink.
 func NewHost(eng *sim.Engine, id packet.HostID) *Host {
-	return &Host{eng: eng, id: id, handlers: make(map[packet.FlowID]FlowHandler)}
+	return &Host{
+		eng:      eng,
+		pool:     packet.PoolFor(eng),
+		id:       id,
+		handlers: make(map[packet.FlowID]FlowHandler),
+	}
 }
 
 // ID returns the host identifier.
@@ -75,10 +91,55 @@ func (h *Host) SetUplink(p *Pipe) { h.out = p }
 func (h *Host) Uplink() *Pipe { return h.out }
 
 // Register installs the handler for a flow ID.
-func (h *Host) Register(id packet.FlowID, fh FlowHandler) { h.handlers[id] = fh }
+func (h *Host) Register(id packet.FlowID, fh FlowHandler) {
+	h.handlers[id] = fh
+	h.dirty = true
+}
 
 // Unregister removes a flow handler.
-func (h *Host) Unregister(id packet.FlowID) { delete(h.handlers, id) }
+func (h *Host) Unregister(id packet.FlowID) {
+	delete(h.handlers, id)
+	h.dirty = true
+}
+
+// rebuildDispatch refreshes the dense dispatch slice after handler churn.
+func (h *Host) rebuildDispatch() {
+	h.dirty = false
+	h.dense = nil
+	if !denseForwarding.Load() {
+		return
+	}
+	maxID := -1
+	for id := range h.handlers {
+		if int(id) > maxID {
+			maxID = int(id)
+		}
+	}
+	if !ident.Dense(maxID, len(h.handlers)) {
+		return
+	}
+	d := make([]FlowHandler, maxID+1)
+	for id, fh := range h.handlers {
+		d[id] = fh
+	}
+	h.dense = d
+}
+
+// handler resolves the flow's handler via the dense slice when present,
+// else the map. Both layouts hold the same values, so which one serves a
+// lookup is unobservable in results.
+func (h *Host) handler(id packet.FlowID) FlowHandler {
+	if h.dirty {
+		h.rebuildDispatch()
+	}
+	if h.dense != nil {
+		if i := uint64(id); i < uint64(len(h.dense)) {
+			return h.dense[i]
+		}
+		return nil
+	}
+	return h.handlers[id]
+}
 
 // Receive implements Receiver: account the packet, dispatch by flow ID,
 // and release it — delivery ends the packet's ownership chain. Handlers
@@ -92,12 +153,12 @@ func (h *Host) Receive(p *packet.Packet) {
 	if h.RxHook != nil {
 		h.RxHook(p)
 	}
-	if fh, ok := h.handlers[p.Flow]; ok {
+	if fh := h.handler(p.Flow); fh != nil {
 		fh.Handle(p)
 	} else {
 		h.Orphans++
 	}
-	packet.Release(p)
+	h.pool.Release(p)
 }
 
 // Send emits a packet from this host, honouring the send filter.

@@ -6,6 +6,8 @@
 package topo
 
 import (
+	"math/bits"
+
 	"aqueue/internal/packet"
 	"aqueue/internal/queue"
 	"aqueue/internal/sim"
@@ -21,11 +23,28 @@ type Receiver interface {
 // transmitter at the link rate, followed by a fixed propagation delay.
 type Pipe struct {
 	eng   *sim.Engine
+	pool  *packet.Pool
 	rate  units.BitRate
 	delay sim.Time
 	q     queue.Interface
 	dst   Receiver
 	busy  bool
+
+	// fq is the plain FIFO behind q, enabling the virtual-transmitter
+	// fast path: a FIFO drains deterministically, so each packet's
+	// serialization window is known at enqueue time and Send can plan the
+	// delivery directly — one engine event per packet instead of a
+	// txDone/deliver pair. nil when a custom scheduler (DRR) is installed,
+	// which falls back to the event-driven transmitter.
+	fq *queue.FIFO
+	// txFreeAt is when the transmitter finishes its current backlog; a
+	// packet enqueued now starts serializing at max(now, txFreeAt).
+	txFreeAt sim.Time
+	// started holds the (start-time, size) of packets counted in fq but
+	// whose serialization hasn't begun; entries are drained lazily so
+	// fq's occupancy — which drives tail drop, ECN marking and Backlog —
+	// matches what the event-driven transmitter would report.
+	started startRing
 
 	// jitter, when positive, adds a uniform random component in
 	// [0, jitter) to each packet's propagation delay. Continuous streams
@@ -35,6 +54,22 @@ type Pipe struct {
 	jitter   sim.Time
 	rng      *sim.Rand
 	lastPlan sim.Time // latest planned delivery time, for order preservation
+
+	// txSize/txNanos memoize the serialization time of the last packet
+	// size transmitted. A pipe direction carries almost exclusively one
+	// size (MSS data one way, header-only ACKs the other), so this turns a
+	// per-packet float division into a compare. SetRate invalidates it.
+	txSize  int
+	txNanos sim.Time
+
+	// inflight holds packets whose delivery time is planned but not yet
+	// armed in the engine: deliveries within a pipe are strictly ordered
+	// (lastPlan), so only the head needs a heap event — the rest wait in
+	// this ring and chain as each delivery fires. A long fat pipe carries
+	// delay/txTime packets in flight; keeping them out of the event heap
+	// keeps every sift shallow.
+	inflight      deliveryRing
+	deliveryArmed bool
 
 	// DelayHook, when set, observes the physical queuing delay of every
 	// packet at dequeue time (excludes serialization and propagation).
@@ -62,23 +97,35 @@ func NewPipe(eng *sim.Engine, rate units.BitRate, delay sim.Time, queueLimit, ec
 	q.SetAQMSeed(0xA11CE + eng.NextSeq("queue.aqm")*0x5bd1e995)
 	p := &Pipe{
 		eng:   eng,
+		pool:  packet.PoolFor(eng),
 		rate:  rate,
 		delay: delay,
 		q:     q,
+		fq:    q,
 		dst:   dst,
 	}
 	p.txDoneFn = func(x any) { p.txDone(x.(*packet.Packet)) }
-	p.deliverFn = func(x any) { p.dst.Receive(x.(*packet.Packet)) }
+	p.deliverFn = func(x any) { p.deliver(x.(*packet.Packet)) }
 	return p
 }
 
 // SetScheduler replaces the egress queue (e.g. with a queue.DRR). Only
-// valid before any packet has been sent.
-func (p *Pipe) SetScheduler(q queue.Interface) { p.q = q }
+// valid before any packet has been sent. A non-FIFO scheduler disables the
+// virtual-transmitter fast path: its dequeue order depends on arrivals, so
+// departures must be computed event by event.
+func (p *Pipe) SetScheduler(q queue.Interface) {
+	p.q = q
+	p.fq, _ = q.(*queue.FIFO)
+}
 
 // Backlog returns the egress queue occupancy in bytes, whatever the
 // scheduler type.
-func (p *Pipe) Backlog() int { return p.q.Bytes() }
+func (p *Pipe) Backlog() int {
+	if p.fq != nil {
+		p.drainStarted(p.eng.Now())
+	}
+	return p.q.Bytes()
+}
 
 // SetJitter enables per-packet propagation jitter in [0, j) using a stream
 // seeded with seed.
@@ -99,17 +146,73 @@ func (p *Pipe) Rate() units.BitRate { return p.rate }
 
 // SetRate changes the link rate; used by tests that reconfigure link speeds
 // (the paper's testbed runs ports at both 100 and 25 Gbps).
-func (p *Pipe) SetRate(r units.BitRate) { p.rate = r }
+func (p *Pipe) SetRate(r units.BitRate) {
+	p.rate = r
+	p.txSize = 0
+}
 
 // Send enqueues the packet for transmission. The packet is tail-dropped —
 // and released back to the pool — when the FIFO is full, exactly what a
 // physical port does.
+//
+// On the FIFO fast path the transmitter is virtual: the queue drains in
+// arrival order at a known rate, so the packet's serialization window
+// [start, start+tx) is fixed the moment it is accepted, and the delivery
+// is planned here instead of by a txDone event — one engine event per
+// packet instead of two. The FIFO still sees every Push (tail-drop, ECN
+// and AQM decisions are its, with identical occupancy), but its entries
+// are drained lazily as their start times pass.
 func (p *Pipe) Send(pkt *packet.Packet) {
-	if !p.q.Push(p.eng.Now(), pkt) {
-		packet.Release(pkt)
+	if p.fq == nil {
+		if !p.q.Push(p.eng.Now(), pkt) {
+			p.pool.Release(pkt)
+			return
+		}
+		p.kick()
 		return
 	}
-	p.kick()
+	now := p.eng.Now()
+	p.drainStarted(now)
+	if !p.fq.Push(now, pkt) {
+		p.pool.Release(pkt)
+		return
+	}
+	start := p.txFreeAt
+	if start <= now {
+		// Transmitter idle: serialization starts immediately, so the
+		// packet never counts as queued.
+		start = now
+		p.fq.PopDrained(pkt.Size)
+	} else {
+		p.started.push(start, pkt.Size)
+	}
+	waited := start - now
+	pkt.QueueDelay += waited
+	if p.DelayHook != nil {
+		p.DelayHook(waited, pkt)
+	}
+	if pkt.Size != p.txSize {
+		p.txSize = pkt.Size
+		p.txNanos = sim.Time(p.rate.TransmitNanos(pkt.Size))
+	}
+	p.txFreeAt = start + p.txNanos
+	p.TxBytes += uint64(pkt.Size)
+	p.TxPackets++
+	p.planDelivery(p.txFreeAt, pkt)
+}
+
+// drainStarted retires queue entries whose serialization has begun, so the
+// FIFO's occupancy reflects only packets still waiting — the same set the
+// event-driven transmitter would be holding.
+func (p *Pipe) drainStarted(now sim.Time) {
+	for {
+		at, size, ok := p.started.peek()
+		if !ok || at > now {
+			return
+		}
+		p.started.pop()
+		p.fq.PopDrained(size)
+	}
 }
 
 // kick starts the transmitter if it is idle and the queue is non-empty.
@@ -129,23 +232,146 @@ func (p *Pipe) kick() {
 	p.busy = true
 	p.TxBytes += uint64(pkt.Size)
 	p.TxPackets++
-	tx := sim.Time(p.rate.TransmitNanos(pkt.Size))
-	p.eng.AfterDetached(tx, p.txDoneFn, pkt)
+	if pkt.Size != p.txSize {
+		p.txSize = pkt.Size
+		p.txNanos = sim.Time(p.rate.TransmitNanos(pkt.Size))
+	}
+	p.eng.AfterDetached(p.txNanos, p.txDoneFn, pkt)
 }
 
-// txDone fires when the packet's last bit leaves the port: plan delivery
-// after propagation (plus jitter), then start on the next queued packet.
+// txDone fires when the packet's last bit leaves the port (event-driven
+// path only): plan delivery, then start on the next queued packet.
 func (p *Pipe) txDone(pkt *packet.Packet) {
 	p.busy = false
+	p.planDelivery(p.eng.Now(), pkt)
+	p.kick()
+}
+
+// planDelivery schedules pkt to arrive at end (when its last bit leaves
+// the port) plus propagation and jitter. Only the earliest planned
+// delivery holds an engine event; later ones queue in the inflight ring
+// and are armed as each delivery fires.
+func (p *Pipe) planDelivery(end sim.Time, pkt *packet.Packet) {
 	d := p.delay
 	if p.jitter > 0 {
-		d += sim.Time(p.rng.Uint64() % uint64(p.jitter))
+		// Multiply-shift range reduction (one draw, no divide): the high
+		// 64 bits of x*jitter are uniform over [0, jitter) to the same
+		// negligible bias as the modulo it replaces.
+		hi, _ := bits.Mul64(p.rng.Uint64(), uint64(p.jitter))
+		d += sim.Time(hi)
 	}
-	at := p.eng.Now() + d
+	at := end + d
 	if at <= p.lastPlan {
 		at = p.lastPlan + 1 // never reorder within a pipe
 	}
 	p.lastPlan = at
-	p.eng.AtDetached(at, p.deliverFn, pkt)
-	p.kick()
+	if p.deliveryArmed {
+		p.inflight.push(at, pkt)
+	} else {
+		p.deliveryArmed = true
+		p.eng.AtDetached(at, p.deliverFn, pkt)
+	}
+}
+
+// deliver hands the head packet to the destination and arms the next
+// planned delivery, if any. Arming precedes Receive so the chain's event
+// schedule is independent of whatever the receiver does.
+func (p *Pipe) deliver(pkt *packet.Packet) {
+	if next, at, ok := p.inflight.pop(); ok {
+		p.eng.AtDetached(at, p.deliverFn, next)
+	} else {
+		p.deliveryArmed = false
+	}
+	p.dst.Receive(pkt)
+}
+
+// deliveryRing is a growable circular buffer of (deliver-at, packet) pairs.
+type deliveryRing struct {
+	buf        []delivery
+	head, size int
+}
+
+type delivery struct {
+	at  sim.Time
+	pkt *packet.Packet
+}
+
+func (r *deliveryRing) push(at sim.Time, pkt *packet.Packet) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = delivery{at, pkt}
+	r.size++
+}
+
+func (r *deliveryRing) pop() (*packet.Packet, sim.Time, bool) {
+	if r.size == 0 {
+		return nil, 0, false
+	}
+	d := r.buf[r.head]
+	r.buf[r.head] = delivery{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+	return d.pkt, d.at, true
+}
+
+// startRing is a growable circular buffer of (serialization-start, size)
+// pairs for packets accepted by the virtual transmitter but not yet in
+// service.
+type startRing struct {
+	buf        []pendingStart
+	head, size int
+}
+
+type pendingStart struct {
+	at   sim.Time
+	size int
+}
+
+func (r *startRing) push(at sim.Time, size int) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = pendingStart{at, size}
+	r.size++
+}
+
+func (r *startRing) peek() (sim.Time, int, bool) {
+	if r.size == 0 {
+		return 0, 0, false
+	}
+	e := r.buf[r.head]
+	return e.at, e.size, true
+}
+
+func (r *startRing) pop() {
+	r.buf[r.head] = pendingStart{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+}
+
+func (r *startRing) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]pendingStart, n)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+func (r *deliveryRing) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]delivery, n)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }

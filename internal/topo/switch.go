@@ -2,12 +2,27 @@ package topo
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"aqueue/internal/core"
+	"aqueue/internal/ident"
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
 	"aqueue/internal/trace"
 )
+
+// denseForwarding gates the direct-indexed forwarding tables of switches
+// and the dense flow dispatch of hosts. Consulted only when a table is
+// rebuilt after a membership change, never per packet. On by default; the
+// fingerprint property tests flip it off to prove the map paths are
+// byte-identical.
+var denseForwarding atomic.Bool
+
+func init() { denseForwarding.Store(true) }
+
+// SetDenseForwarding enables or disables the dense forwarding layout for
+// tables (re)built afterwards, returning the previous setting.
+func SetDenseForwarding(on bool) bool { return denseForwarding.Swap(on) }
 
 // Switch is a store-and-forward switch with per-destination routing and the
 // two AQ match points of §4.2: the ingress pipeline (matched on the
@@ -16,6 +31,7 @@ import (
 // port).
 type Switch struct {
 	eng    *sim.Engine
+	pool   *packet.Pool
 	name   string
 	ports  []*Pipe
 	routes map[packet.HostID]int
@@ -23,6 +39,14 @@ type Switch struct {
 	// the flow ID, so one flow always follows one path (no reordering)
 	// while flows spread across the group.
 	ecmp map[packet.HostID][]int
+
+	// fwd, when non-nil, is the dense forwarding table: indexed by
+	// destination host ID, each entry caches the resolved egress pipe (or
+	// the resolved ECMP pipe group), so the common hop touches no map and
+	// no s.ports indirection. Rebuilt lazily (fwdDirty) after route
+	// changes; ident.Dense decides whether the host-ID range justifies it.
+	fwd      []fwdEntry
+	fwdDirty bool
 
 	// Ingress and Egress are the AQ tables for the two pipeline positions.
 	Ingress *core.Table
@@ -48,6 +72,7 @@ type Switch struct {
 func NewSwitch(eng *sim.Engine, name string) *Switch {
 	return &Switch{
 		eng:     eng,
+		pool:    packet.PoolFor(eng),
 		name:    name,
 		routes:  make(map[packet.HostID]int),
 		ecmp:    make(map[packet.HostID][]int),
@@ -81,6 +106,7 @@ func (s *Switch) AddRoute(dst packet.HostID, port int) {
 		panic(fmt.Sprintf("switch %s: route to %d via invalid port %d", s.name, dst, port))
 	}
 	s.routes[dst] = port
+	s.fwdDirty = true
 }
 
 // AddECMPRoute directs traffic for dst over the given port group, hashed
@@ -92,6 +118,92 @@ func (s *Switch) AddECMPRoute(dst packet.HostID, ports ...int) {
 		}
 	}
 	s.ecmp[dst] = append([]int(nil), ports...)
+	s.fwdDirty = true
+}
+
+// fwdEntry is one dense forwarding slot: an exact route caches its pipe, an
+// ECMP route caches the resolved pipe group (hashed per flow at lookup).
+// Exact routes win, matching outPort's precedence.
+type fwdEntry struct {
+	pipe  *Pipe
+	group []*Pipe
+}
+
+// rebuildFwd refreshes the dense forwarding table after a route change. The
+// table is dropped (map fallback) when dense forwarding is disabled, when
+// any destination ID is negative, or when the ID range is too sparse.
+func (s *Switch) rebuildFwd() {
+	s.fwdDirty = false
+	s.fwd = nil
+	if !denseForwarding.Load() {
+		return
+	}
+	maxDst, count := -1, 0
+	seen := func(dst packet.HostID) bool {
+		if dst < 0 {
+			return false
+		}
+		if int(dst) > maxDst {
+			maxDst = int(dst)
+		}
+		count++
+		return true
+	}
+	for dst := range s.routes {
+		if !seen(dst) {
+			return
+		}
+	}
+	for dst := range s.ecmp {
+		if _, dup := s.routes[dst]; dup {
+			continue // exact route shadows the group; count once
+		}
+		if !seen(dst) {
+			return
+		}
+	}
+	if !ident.Dense(maxDst, count) {
+		return
+	}
+	fwd := make([]fwdEntry, maxDst+1)
+	for dst, port := range s.routes {
+		fwd[dst].pipe = s.ports[port]
+	}
+	for dst, group := range s.ecmp {
+		pipes := make([]*Pipe, len(group))
+		for i, port := range group {
+			pipes[i] = s.ports[port]
+		}
+		fwd[dst].group = pipes
+	}
+	s.fwd = fwd
+}
+
+// outPipe resolves the egress pipe for a packet via the dense table when
+// present, else the route maps. Both paths implement the same precedence
+// (exact route, then ECMP by flow hash), so the choice of layout is
+// unobservable in results.
+func (s *Switch) outPipe(p *packet.Packet) *Pipe {
+	if s.fwdDirty {
+		s.rebuildFwd()
+	}
+	if s.fwd != nil {
+		if d := uint(p.Dst); d < uint(len(s.fwd)) {
+			e := &s.fwd[d]
+			if e.pipe != nil {
+				return e.pipe
+			}
+			if n := uint64(len(e.group)); n > 0 {
+				return e.group[flowHash(p.Flow)%n]
+			}
+		}
+		return nil
+	}
+	port, ok := s.outPort(p)
+	if !ok {
+		return nil
+	}
+	return s.ports[port]
 }
 
 // outPort resolves the output port for a packet: exact routes win, then
@@ -119,13 +231,12 @@ func flowHash(f packet.FlowID) uint64 {
 // packet, runs the egress AQ pipeline, and enqueues on the output port.
 func (s *Switch) Receive(p *packet.Packet) {
 	s.RxPackets++
-	port, ok := s.outPort(p)
-	if !ok {
+	out := s.outPipe(p)
+	if out == nil {
 		s.RouteMiss++
-		packet.Release(p)
+		s.pool.Release(p)
 		return
 	}
-	out := s.ports[port]
 	if s.WorkConserving && out.Backlog() == 0 {
 		// §6: bypass AQ while the physical queue is empty.
 		s.AQBypassed++
@@ -151,7 +262,7 @@ func (s *Switch) aqDrop(p *packet.Packet) {
 	if s.AQDropHook != nil {
 		s.AQDropHook(p)
 	}
-	packet.Release(p)
+	s.pool.Release(p)
 }
 
 // String identifies the switch in logs.

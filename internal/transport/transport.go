@@ -64,6 +64,7 @@ const (
 // then call Start.
 type Sender struct {
 	eng  *sim.Engine
+	pool *packet.Pool
 	src  *topo.Host
 	dst  *topo.Host
 	flow packet.FlowID
@@ -91,6 +92,7 @@ type Sender struct {
 	rto                  sim.Time
 	rtoEv                *sim.Event
 	rtoPending           bool
+	rtoDeadline          sim.Time // the time the RTO actually expires
 	backoff              uint
 	frontRetxAt          sim.Time // when the front hole was last retransmitted
 
@@ -133,6 +135,7 @@ func NewSender(src, dst *topo.Host, size int64, alg cc.Algorithm, opt Options) *
 	}
 	s := &Sender{
 		eng:   src.Engine(),
+		pool:  packet.PoolFor(src.Engine()),
 		src:   src,
 		dst:   dst,
 		flow:  NextFlowID(src.Engine()),
@@ -216,7 +219,12 @@ func (s *Sender) trySend() {
 		now := s.eng.Now()
 		for float64(s.pipe) < w {
 			if now < s.nextPaced {
-				s.pacedEv = s.eng.Reschedule(s.pacedEv, s.nextPaced, s.trySendFn)
+				// nextPaced only moves forward, so an already-armed pacing
+				// event can only be early: let it fire and re-check rather
+				// than paying a heap reschedule on every gated attempt.
+				if !s.pacedEv.Pending() {
+					s.pacedEv = s.eng.Reschedule(s.pacedEv, s.nextPaced, s.trySendFn)
+				}
 				return
 			}
 			var sent int
@@ -243,7 +251,9 @@ func (s *Sender) trySend() {
 	}
 	now := s.eng.Now()
 	if now < s.nextPaced {
-		s.pacedEv = s.eng.Reschedule(s.pacedEv, s.nextPaced, s.trySendFn)
+		if !s.pacedEv.Pending() {
+			s.pacedEv = s.eng.Reschedule(s.pacedEv, s.nextPaced, s.trySendFn)
+		}
 		return
 	}
 	if seq, ok := s.popRtx(); ok {
@@ -289,7 +299,7 @@ func (s *Sender) popRtx() (int64, bool) {
 
 // sendSegment emits the segment at seq and charges the pipe.
 func (s *Sender) sendSegment(seq int64, retx bool) {
-	p := packet.NewData(s.src.ID(), s.dst.ID(), s.flow, seq, s.segPayload(seq))
+	p := s.pool.NewData(s.src.ID(), s.dst.ID(), s.flow, seq, s.segPayload(seq))
 	p.SentAt = s.eng.Now()
 	p.EcnCapable = s.opt.EcnCapable
 	p.IngressAQ = s.opt.IngressAQ
@@ -372,15 +382,27 @@ func (s *Sender) advanceLossScan() {
 	}
 }
 
-// armRTO (re)schedules the retransmission timer, reusing the one Event
-// object for the life of the flow instead of cancel-and-reallocate.
+// armRTO (re)schedules the retransmission timer. The deadline is lazy:
+// while an engine event is already pending it is left where it is (it can
+// only be early, since the deadline slides forward under steady ACKs) and
+// only the deadline field moves — onTimeout re-arms a too-early wakeup
+// instead of acting. A flow under ACK clocking thus restarts its RTO with
+// one field write per ACK instead of a heap reschedule per ACK.
 func (s *Sender) armRTO() {
 	timeout := s.rto << s.backoff
 	if timeout > rtoMax {
 		timeout = rtoMax
 	}
+	s.rtoDeadline = s.eng.Now() + timeout
+	// An armed event that fires at or before the deadline wakes early and
+	// re-arms itself (onTimeout), so it can be left alone. One that fires
+	// after the deadline cannot — the RTO estimate shrinks when the first
+	// RTT sample replaces the conservative initial value — so pull it in.
+	if s.rtoPending && s.rtoEv.Pending() && s.rtoEv.Time() <= s.rtoDeadline {
+		return
+	}
 	s.rtoPending = true
-	s.rtoEv = s.eng.RescheduleAfter(s.rtoEv, timeout, s.onTimeoutFn)
+	s.rtoEv = s.eng.Reschedule(s.rtoEv, s.rtoDeadline, s.onTimeoutFn)
 }
 
 // cancelRTO stops the pending timer.
@@ -391,8 +413,13 @@ func (s *Sender) cancelRTO() {
 
 // onTimeout handles a retransmission timeout: every unsacked outstanding
 // segment is presumed lost, the pipe is reset, and transmission restarts
-// from the front under the collapsed window.
+// from the front under the collapsed window. A wakeup before the lazily
+// advanced deadline is not a timeout — it re-arms and goes back to sleep.
 func (s *Sender) onTimeout() {
+	if !s.done && s.eng.Now() < s.rtoDeadline {
+		s.rtoEv = s.eng.Reschedule(s.rtoEv, s.rtoDeadline, s.onTimeoutFn)
+		return
+	}
 	s.rtoPending = false
 	if s.done || s.nextSeq == s.cumAck {
 		return
@@ -600,7 +627,7 @@ func (r *Receiver) Handle(p *packet.Packet) {
 		r.ooo[p.Seq] = p.Payload
 	}
 	r.Delivered = r.cum
-	ack := packet.NewAck(r.s.dst.ID(), r.s.src.ID(), p.Flow, r.cum)
+	ack := r.s.pool.NewAck(r.s.dst.ID(), r.s.src.ID(), p.Flow, r.cum)
 	ack.EcnEcho = p.CE
 	ack.EchoSentAt = p.SentAt
 	ack.EchoVirtualDelay = p.VirtualDelay

@@ -13,6 +13,7 @@ import (
 // limit-drops contain.
 type UDPSender struct {
 	eng  *sim.Engine
+	pool *packet.Pool
 	src  *topo.Host
 	dst  *topo.Host
 	flow packet.FlowID
@@ -53,6 +54,7 @@ func NewUDPSender(src, dst *topo.Host, rate units.BitRate, opt Options) *UDPSend
 	}
 	u := &UDPSender{
 		eng:  src.Engine(),
+		pool: packet.PoolFor(src.Engine()),
 		src:  src,
 		dst:  dst,
 		flow: NextFlowID(src.Engine()),
@@ -93,7 +95,7 @@ func (u *UDPSender) tick() {
 	if !u.running {
 		return
 	}
-	p := packet.NewData(u.src.ID(), u.dst.ID(), u.flow, u.seq, u.mss)
+	p := u.pool.NewData(u.src.ID(), u.dst.ID(), u.flow, u.seq, u.mss)
 	p.SentAt = u.eng.Now()
 	p.IngressAQ = u.opt.IngressAQ
 	p.EgressAQ = u.opt.EgressAQ
