@@ -20,6 +20,7 @@ const BenchCoreSchema = "aq-benchcore/v1"
 type coreMetrics struct {
 	Engine     benchcore.EngineResult     `json:"engine"`
 	Forwarding benchcore.ForwardingResult `json:"forwarding"`
+	FatTree    *benchcore.FatTreeResult   `json:"fattree,omitempty"`
 	Sweep      *harness.Bench             `json:"sweep,omitempty"`
 	// Note documents provenance (e.g. that a baseline was measured before
 	// a refactor landed).
@@ -38,10 +39,11 @@ type coreRecord struct {
 	Current    coreMetrics  `json:"current"`
 }
 
-// runBenchCore measures the three simulation-core benchmarks — engine
-// event churn, single-bottleneck forwarding, and the full quick experiment
-// sweep — and writes the record to path, preserving any existing baseline.
-func runBenchCore(parallel int, path string) {
+// runBenchCore measures the simulation-core benchmarks — engine event
+// churn, single-bottleneck forwarding, the partitioned fat-tree fabric,
+// and the full quick experiment sweep — and writes the record to path,
+// preserving any existing baseline.
+func runBenchCore(parallel, domains int, path string) {
 	const (
 		engineEvents   = 5_000_000
 		forwardingRuns = 20
@@ -55,6 +57,25 @@ func runBenchCore(parallel int, path string) {
 	fwd := benchcore.MeasureForwarding(forwardingRuns, 10*sim.Millisecond)
 	fmt.Printf("  %.0f ns/op, %.0f allocs/op, %d pkts/op (%.0f ns/pkt, %.2fM pkts/sec)\n",
 		fwd.NsPerOp, fwd.AllocsPerOp, fwd.PacketsPerOp, fwd.NsPerPacket, fwd.PacketsPerSec/1e6)
+
+	ftDomains := domains
+	if ftDomains < 2 {
+		ftDomains = 2
+	}
+	fmt.Printf("benchcore: fat-tree fabric (k=4), single engine vs %d domains\n", ftDomains)
+	ft := benchcore.MeasureFatTree(4, 10*sim.Millisecond, ftDomains)
+	if ft.ParallelMeasured {
+		fmt.Printf("  single %v, partitioned %v (speedup %.2fx over %d windows, identical=%v)\n",
+			time.Duration(ft.SingleNS).Round(time.Millisecond),
+			time.Duration(ft.PartitionedNS).Round(time.Millisecond),
+			ft.Speedup, ft.Windows, ft.Identical)
+	} else {
+		fmt.Printf("  single %v, partitioned %v cooperatively over %d windows (identical=%v)\n",
+			time.Duration(ft.SingleNS).Round(time.Millisecond),
+			time.Duration(ft.PartitionedNS).Round(time.Millisecond),
+			ft.Windows, ft.Identical)
+		fmt.Printf("  [%s]\n", ft.Note)
+	}
 
 	jobs, err := harness.Jobs(harness.Names(), nil, experiments.DefaultParams(true))
 	if err != nil {
@@ -91,7 +112,7 @@ func runBenchCore(parallel int, path string) {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Baseline:   readBaseline(path),
-		Current:    coreMetrics{Engine: eng, Forwarding: fwd, Sweep: sweep},
+		Current:    coreMetrics{Engine: eng, Forwarding: fwd, FatTree: &ft, Sweep: sweep},
 	}
 	if rec.Baseline != nil {
 		b, c := rec.Baseline.Forwarding, rec.Current.Forwarding
@@ -106,6 +127,9 @@ func runBenchCore(parallel int, path string) {
 	fmt.Printf("[benchcore written to %s]\n", path)
 	if !sweep.Identical {
 		fatalf("parallel sweep differs from sequential — determinism regression")
+	}
+	if !ft.Identical {
+		fatalf("partitioned fat-tree run differs from single-engine — determinism regression")
 	}
 }
 

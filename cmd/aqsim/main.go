@@ -13,6 +13,7 @@
 //	aqsim -experiment all -parallel 8         # saturate 8 workers
 //	aqsim -experiment all -json out.json      # machine-readable results
 //	aqsim -experiment fig6 -seeds 1,2,3       # multi-seed sweep
+//	aqsim -experiment table2 -domains 4       # partitioned engines, same bytes
 //	aqsim -bench -quick                       # regenerate BENCH_harness.json
 //	aqsim -benchcore                          # regenerate BENCH_simcore.json
 //	aqsim -benchcore -cpuprofile cpu.pprof    # profile the hot path
@@ -37,6 +38,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced horizons/workloads")
 	format := flag.String("format", "text", "output format: text|csv|none")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	domains := flag.Int("domains", 1, "partition each run's topology into this many time-synced simulation domains (results are byte-identical for any value)")
 	seeds := flag.String("seeds", "", "comma-separated seeds for a multi-seed sweep (overrides -seed)")
 	parallel := flag.Int("parallel", 1, "concurrent runs (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write a JSON results report to this path")
@@ -82,12 +84,13 @@ func main() {
 		names = splitList(*exp)
 	}
 	if *benchCore {
-		runBenchCore(*parallel, *benchCoreOut)
+		runBenchCore(*parallel, *domains, *benchCoreOut)
 		return
 	}
 
 	base := experiments.DefaultParams(*quick)
 	base.Seed = *seed
+	base.Domains = *domains
 	seedList, err := parseSeeds(*seeds)
 	if err != nil {
 		fatalf("bad -seeds: %v", err)

@@ -1,9 +1,15 @@
 // Command benchdelta compares two BENCH_simcore.json records and prints a
 // markdown table of the interesting deltas — forwarding ns/packet,
-// allocs/op, engine ns/event, and sweep speedup/utilization. CI runs it
-// with the committed record and a freshly regenerated one and appends the
-// output to the job summary; it is informational and never fails on a
-// slow result (shared runners are noisy), only on unreadable input.
+// allocs/op, engine ns/event, fat-tree partitioning overhead, and sweep
+// speedup/utilization. CI runs it with the committed record and a freshly
+// regenerated one and appends the output to the job summary; it is
+// informational and never fails on a slow result (shared runners are
+// noisy), only on unreadable input.
+//
+// The record format grows across PRs (the sweep section, then the fattree
+// section, arrived after the first committed records), so each table row
+// degrades independently: an entry absent on either side is reported as
+// "incomparable" instead of failing the comparison or inventing a zero.
 //
 // Usage:
 //
@@ -13,12 +19,14 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
-// record mirrors the parts of the aq-benchcore/v1 document the delta
-// report needs; unknown fields are ignored so schema growth stays
-// backward compatible.
+// record mirrors the parts of the aq-benchcore document the delta report
+// needs. Every leaf is a pointer so that a field a record predates is
+// distinguishable from a measured zero; unknown fields are ignored so
+// schema growth stays backward compatible in the other direction too.
 type record struct {
 	Schema     string  `json:"schema"`
 	GoVersion  string  `json:"go_version"`
@@ -27,18 +35,25 @@ type record struct {
 }
 
 type metrics struct {
-	Engine struct {
-		NsPerEvent float64 `json:"ns_per_event"`
+	Engine *struct {
+		NsPerEvent *float64 `json:"ns_per_event"`
 	} `json:"engine"`
-	Forwarding struct {
-		NsPerPacket float64 `json:"ns_per_packet"`
-		AllocsPerOp float64 `json:"allocs_per_op"`
+	Forwarding *struct {
+		NsPerPacket *float64 `json:"ns_per_packet"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
 	} `json:"forwarding"`
+	FatTree *struct {
+		Domains          int      `json:"domains"`
+		SingleNS         *float64 `json:"single_ns"`
+		PartitionedNS    *float64 `json:"partitioned_ns"`
+		ParallelMeasured bool     `json:"parallel_measured"`
+		Identical        *bool    `json:"identical"`
+	} `json:"fattree"`
 	Sweep *struct {
-		Workers     int     `json:"workers"`
-		Speedup     float64 `json:"speedup"`
-		Utilization float64 `json:"utilization"`
-		Identical   bool    `json:"identical"`
+		Workers     int      `json:"workers"`
+		Speedup     *float64 `json:"speedup"`
+		Utilization *float64 `json:"utilization"`
+		Identical   *bool    `json:"identical"`
 	} `json:"sweep"`
 }
 
@@ -47,39 +62,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdelta OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRec, err := read(os.Args[1])
-	if err != nil {
-		fatalf("%s: %v", os.Args[1], err)
+	if err := report(os.Stdout, os.Args[1], os.Args[2]); err != nil {
+		fatalf("%v", err)
 	}
-	newRec, err := read(os.Args[2])
-	if err != nil {
-		fatalf("%s: %v", os.Args[2], err)
-	}
-
-	fmt.Printf("### Simulation-core benchmark delta\n\n")
-	fmt.Printf("Baseline `%s` (%s, GOMAXPROCS=%d) vs fresh `%s` (%s, GOMAXPROCS=%d).\n\n",
-		os.Args[1], oldRec.GoVersion, oldRec.GOMAXPROCS,
-		os.Args[2], newRec.GoVersion, newRec.GOMAXPROCS)
-	fmt.Printf("| metric | baseline | fresh | delta |\n")
-	fmt.Printf("|---|---:|---:|---:|\n")
-	row("forwarding ns/packet", oldRec.Current.Forwarding.NsPerPacket, newRec.Current.Forwarding.NsPerPacket)
-	row("forwarding allocs/op", oldRec.Current.Forwarding.AllocsPerOp, newRec.Current.Forwarding.AllocsPerOp)
-	row("engine ns/event", oldRec.Current.Engine.NsPerEvent, newRec.Current.Engine.NsPerEvent)
-	if o, n := oldRec.Current.Sweep, newRec.Current.Sweep; o != nil && n != nil {
-		row(fmt.Sprintf("sweep speedup (%d→%d workers)", o.Workers, n.Workers), o.Speedup, n.Speedup)
-		row("sweep utilization", o.Utilization, n.Utilization)
-		fmt.Printf("| sweep identical | %v | %v | |\n", o.Identical, n.Identical)
-	}
-	fmt.Println()
-	fmt.Println("_Lower is better for the first three rows; numbers from shared runners are noisy._")
 }
 
-func row(name string, oldV, newV float64) {
-	delta := "n/a"
-	if oldV != 0 {
-		delta = fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+// report renders the full delta table for the two record paths.
+func report(w io.Writer, oldPath, newPath string) error {
+	oldRec, err := read(oldPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
 	}
-	fmt.Printf("| %s | %.2f | %.2f | %s |\n", name, oldV, newV, delta)
+	newRec, err := read(newPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+
+	fmt.Fprintf(w, "### Simulation-core benchmark delta\n\n")
+	fmt.Fprintf(w, "Baseline `%s` (%s, GOMAXPROCS=%d) vs fresh `%s` (%s, GOMAXPROCS=%d).\n\n",
+		oldPath, oldRec.GoVersion, oldRec.GOMAXPROCS,
+		newPath, newRec.GoVersion, newRec.GOMAXPROCS)
+	fmt.Fprintf(w, "| metric | baseline | fresh | delta |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|\n")
+
+	o, n := oldRec.Current, newRec.Current
+	row(w, "forwarding ns/packet",
+		fieldOf(o.Forwarding, func() *float64 { return o.Forwarding.NsPerPacket }),
+		fieldOf(n.Forwarding, func() *float64 { return n.Forwarding.NsPerPacket }))
+	row(w, "forwarding allocs/op",
+		fieldOf(o.Forwarding, func() *float64 { return o.Forwarding.AllocsPerOp }),
+		fieldOf(n.Forwarding, func() *float64 { return n.Forwarding.AllocsPerOp }))
+	row(w, "engine ns/event",
+		fieldOf(o.Engine, func() *float64 { return o.Engine.NsPerEvent }),
+		fieldOf(n.Engine, func() *float64 { return n.Engine.NsPerEvent }))
+	row(w, "fat-tree single-engine ns/op",
+		fieldOf(o.FatTree, func() *float64 { return o.FatTree.SingleNS }),
+		fieldOf(n.FatTree, func() *float64 { return n.FatTree.SingleNS }))
+	row(w, "fat-tree partitioned ns/op",
+		fieldOf(o.FatTree, func() *float64 { return o.FatTree.PartitionedNS }),
+		fieldOf(n.FatTree, func() *float64 { return n.FatTree.PartitionedNS }))
+	boolRow(w, "fat-tree identical",
+		fieldOf(o.FatTree, func() *bool { return o.FatTree.Identical }),
+		fieldOf(n.FatTree, func() *bool { return n.FatTree.Identical }))
+	sweepName := "sweep speedup"
+	if o.Sweep != nil && n.Sweep != nil {
+		sweepName = fmt.Sprintf("sweep speedup (%d→%d workers)", o.Sweep.Workers, n.Sweep.Workers)
+	}
+	row(w, sweepName,
+		fieldOf(o.Sweep, func() *float64 { return o.Sweep.Speedup }),
+		fieldOf(n.Sweep, func() *float64 { return n.Sweep.Speedup }))
+	row(w, "sweep utilization",
+		fieldOf(o.Sweep, func() *float64 { return o.Sweep.Utilization }),
+		fieldOf(n.Sweep, func() *float64 { return n.Sweep.Utilization }))
+	boolRow(w, "sweep identical",
+		fieldOf(o.Sweep, func() *bool { return o.Sweep.Identical }),
+		fieldOf(n.Sweep, func() *bool { return n.Sweep.Identical }))
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "_Lower is better for the timing rows; numbers from shared runners are noisy._")
+	return nil
+}
+
+// fieldOf guards a leaf access behind its section pointer: it returns nil
+// when the section itself is absent, and the leaf pointer (possibly nil)
+// otherwise.
+func fieldOf[S, T any](section *S, leaf func() *T) *T {
+	if section == nil {
+		return nil
+	}
+	return leaf()
+}
+
+// row prints one numeric comparison. Entries a record predates render as
+// "incomparable" with an em-dash value, so diffing a fresh record against
+// an old-schema baseline degrades per entry instead of failing.
+func row(w io.Writer, name string, oldV, newV *float64) {
+	if oldV == nil || newV == nil {
+		fmt.Fprintf(w, "| %s | %s | %s | incomparable |\n", name, numOrDash(oldV), numOrDash(newV))
+		return
+	}
+	delta := "n/a"
+	if *oldV != 0 {
+		delta = fmt.Sprintf("%+.1f%%", (*newV-*oldV) / *oldV * 100)
+	}
+	fmt.Fprintf(w, "| %s | %.2f | %.2f | %s |\n", name, *oldV, *newV, delta)
+}
+
+// boolRow prints one boolean comparison under the same absence rules.
+func boolRow(w io.Writer, name string, oldV, newV *bool) {
+	if oldV == nil || newV == nil {
+		fmt.Fprintf(w, "| %s | %s | %s | incomparable |\n", name, boolOrDash(oldV), boolOrDash(newV))
+		return
+	}
+	fmt.Fprintf(w, "| %s | %v | %v | |\n", name, *oldV, *newV)
+}
+
+func numOrDash(v *float64) string {
+	if v == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%.2f", *v)
+}
+
+func boolOrDash(v *bool) string {
+	if v == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%v", *v)
 }
 
 func read(path string) (*record, error) {

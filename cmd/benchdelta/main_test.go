@@ -1,0 +1,86 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReportToleratesV1Records feeds the delta report a real pre-PR record
+// (harness-bench/v1 sweep section: no utilization, no fattree section at
+// all) as the baseline against a current-schema record. Every entry both
+// records carry must diff normally; every entry the old record predates
+// must degrade to "incomparable" instead of failing the run or reporting
+// a fabricated zero.
+func TestReportToleratesV1Records(t *testing.T) {
+	var sb strings.Builder
+	err := report(&sb, filepath.Join("testdata", "v1.json"), filepath.Join("testdata", "v2.json"))
+	if err != nil {
+		t.Fatalf("report on v1 baseline: %v", err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"forwarding ns/packet",
+		"engine ns/event",
+	} {
+		line := lineWith(t, out, want)
+		if strings.Contains(line, "incomparable") {
+			t.Errorf("%q should be comparable between the fixtures:\n%s", want, line)
+		}
+		if !strings.Contains(line, "%") {
+			t.Errorf("%q row has no percentage delta:\n%s", want, line)
+		}
+	}
+	for _, want := range []string{
+		"sweep utilization",
+		"fat-tree single-engine ns/op",
+		"fat-tree partitioned ns/op",
+		"fat-tree identical",
+	} {
+		line := lineWith(t, out, want)
+		if !strings.Contains(line, "incomparable") {
+			t.Errorf("%q predates the v1 record and must be incomparable:\n%s", want, line)
+		}
+	}
+	// The v1 sweep does carry speedup and identical — those stay comparable.
+	if line := lineWith(t, out, "sweep speedup"); strings.Contains(line, "incomparable") {
+		t.Errorf("sweep speedup exists in both fixtures:\n%s", line)
+	}
+	if line := lineWith(t, out, "sweep identical"); strings.Contains(line, "incomparable") {
+		t.Errorf("sweep identical exists in both fixtures:\n%s", line)
+	}
+}
+
+// TestReportSymmetricAbsence swaps the fixtures: a fresh v1 record against
+// a current baseline must also degrade per entry, not fail.
+func TestReportSymmetricAbsence(t *testing.T) {
+	var sb strings.Builder
+	err := report(&sb, filepath.Join("testdata", "v2.json"), filepath.Join("testdata", "v1.json"))
+	if err != nil {
+		t.Fatalf("report with v1 as fresh side: %v", err)
+	}
+	if line := lineWith(t, sb.String(), "sweep utilization"); !strings.Contains(line, "incomparable") {
+		t.Errorf("sweep utilization must be incomparable when the fresh side lacks it:\n%s", line)
+	}
+}
+
+// TestReportRejectsNonRecords keeps the one hard failure: unreadable input.
+func TestReportRejectsNonRecords(t *testing.T) {
+	var sb strings.Builder
+	if err := report(&sb, filepath.Join("testdata", "v1.json"), filepath.Join("testdata", "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+// lineWith returns the single report line containing the substring.
+func lineWith(t *testing.T, out, sub string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, sub) {
+			return line
+		}
+	}
+	t.Fatalf("report has no line containing %q:\n%s", sub, out)
+	return ""
+}

@@ -1,0 +1,81 @@
+// Domain-partitioning equivalence tests at simulator scope: splitting a
+// scenario's topology across N conservative time-synced engines (see
+// sim.Cluster) is an execution strategy, not a model change — a run
+// partitioned into any number of domains must fingerprint byte-identically
+// to the single-engine run, across every registered quick-sweep scenario
+// and under both the dense and the map table layouts.
+package aqueue_test
+
+import (
+	"testing"
+
+	"aqueue/internal/core"
+	"aqueue/internal/experiments"
+	"aqueue/internal/harness"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+)
+
+// domainJobs builds one job per registered experiment at quick parameters
+// with the horizon cut further (the sweepJobs trick), partitioned into the
+// given number of domains.
+func domainJobs(t *testing.T, domains int) []harness.Job {
+	t.Helper()
+	base := experiments.DefaultParams(true)
+	base.Horizon = 20 * sim.Millisecond
+	base.Flows = 4
+	base.Domains = domains
+	jobs, err := harness.Jobs(harness.Names(), nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// runSweep executes the full quick sweep partitioned into the given number
+// of domains and returns the results. The pool runs one worker: parity
+// needs identical runs, and the domains themselves advance cooperatively
+// inside each run.
+func runSweep(t *testing.T, domains int) []*harness.Result {
+	t.Helper()
+	jobs := domainJobs(t, domains)
+	if len(jobs) < 14 {
+		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
+	}
+	return (&harness.Pool{Workers: 1}).Run(jobs)
+}
+
+// TestDomainRunsFingerprintMatchSingleEngine is the partitioning
+// determinism gate: every quick-sweep scenario must produce byte-identical
+// results when its topology is split across 2 and 4 domains, under both
+// table layouts. A divergence means some event ordering, sequence draw, or
+// measurement leaked the partitioning into the model.
+func TestDomainRunsFingerprintMatchSingleEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep six times")
+	}
+	defer core.SetDenseTables(true)
+	defer topo.SetDenseForwarding(true)
+
+	for _, layout := range []struct {
+		name  string
+		dense bool
+	}{{"dense", true}, {"map", false}} {
+		layout := layout
+		t.Run(layout.name, func(t *testing.T) {
+			core.SetDenseTables(layout.dense)
+			topo.SetDenseForwarding(layout.dense)
+			single := runSweep(t, 1)
+			for _, domains := range []int{2, 4} {
+				parted := runSweep(t, domains)
+				for i := range single {
+					sf, pf := harness.Fingerprint(single[i]), harness.Fingerprint(parted[i])
+					if sf != pf {
+						t.Errorf("%s: %d-domain fingerprint differs from single-engine\nsingle: %s\n%d-dom: %s",
+							single[i].Name, domains, sf, domains, pf)
+					}
+				}
+			}
+		})
+	}
+}

@@ -141,3 +141,86 @@ func MeasureForwarding(runs int, horizon sim.Time) ForwardingResult {
 		PacketsPerSec: float64(pkts) * float64(runs) / wall.Seconds(),
 	}
 }
+
+// FatTreeResult is the partitioned large-fabric benchmark record: one op is
+// a full k-ary fat-tree run over the configured horizon, measured once on a
+// single engine and once split into Domains conservative time-synced
+// domains. ParallelMeasured reports whether the partitioned pass actually
+// ran its domains on goroutines: on a GOMAXPROCS=1 host a "parallel"
+// wall-clock would be fiction, so the pass runs cooperatively instead, the
+// speedup is omitted, and Note says why — the same honesty convention the
+// sweep benchmark uses for worker counts beyond GOMAXPROCS.
+type FatTreeResult struct {
+	K                int     `json:"k"`
+	Domains          int     `json:"domains"`
+	HorizonNS        int64   `json:"horizon_ns"`
+	PacketsPerOp     uint64  `json:"packets_per_op"`
+	SingleNS         int64   `json:"single_ns"`
+	PartitionedNS    int64   `json:"partitioned_ns"`
+	Windows          uint64  `json:"windows"`
+	ParallelMeasured bool    `json:"parallel_measured"`
+	Speedup          float64 `json:"speedup,omitempty"`
+	// Identical reports whether the partitioned run delivered exactly the
+	// same traffic as the single-engine run — the cross-domain determinism
+	// check at benchmark scope.
+	Identical bool   `json:"identical"`
+	Note      string `json:"note,omitempty"`
+}
+
+// RunFatTree drives a k-ary fat tree partitioned into the given number of
+// domains: every host opens one long CUBIC flow to its counterpart two pods
+// over, so all traffic crosses the core and every agg<->core boundary
+// mailbox carries load. The workload is setup-only (no runtime callbacks
+// reach across domains), which is what makes the parallel window mode sound
+// for it. It returns total delivered data packets and the number of sync
+// windows the cluster ran.
+func RunFatTree(k int, horizon sim.Time, domains int, parallel bool) (delivered uint64, windows uint64) {
+	c := sim.NewCluster(domains)
+	c.SetParallel(parallel)
+	spec := topo.DefaultSim()
+	f := topo.NewFatTreeIn(c, k, spec, spec)
+	n := len(f.Hosts)
+	perPod := f.HostsPerPod()
+	for i, src := range f.Hosts {
+		dst := f.Hosts[(i+2*perPod)%n]
+		s := transport.NewSender(src, dst, 0, cc.NewCubic(), transport.Options{})
+		s.Start(sim.Time(i) * 10 * sim.Microsecond)
+	}
+	c.RunUntil(horizon)
+	for _, h := range f.Hosts {
+		delivered += h.RxPackets
+	}
+	return delivered, c.Windows
+}
+
+// MeasureFatTree times the fat-tree scenario single-engine vs partitioned.
+// The partitioned pass advances its domains on goroutines only when the
+// host actually has cores to back them (GOMAXPROCS >= domains); otherwise
+// it runs cooperatively and the record says so instead of inventing a
+// speedup.
+func MeasureFatTree(k int, horizon sim.Time, domains int) FatTreeResult {
+	if domains < 2 {
+		domains = 2
+	}
+	r := FatTreeResult{K: k, Domains: domains, HorizonNS: int64(horizon)}
+
+	RunFatTree(k, horizon/4, 1, false) // warm-up: heat pools and heaps
+	start := time.Now()
+	single, _ := RunFatTree(k, horizon, 1, false)
+	r.SingleNS = time.Since(start).Nanoseconds()
+	r.PacketsPerOp = single
+
+	r.ParallelMeasured = runtime.GOMAXPROCS(0) >= domains
+	if !r.ParallelMeasured {
+		r.Note = "GOMAXPROCS < domains: partitioned pass ran cooperatively; a parallel speedup cannot be measured on this host"
+	}
+	start = time.Now()
+	parted, windows := RunFatTree(k, horizon, domains, r.ParallelMeasured)
+	r.PartitionedNS = time.Since(start).Nanoseconds()
+	r.Windows = windows
+	r.Identical = parted == single
+	if r.ParallelMeasured && r.PartitionedNS > 0 {
+		r.Speedup = float64(r.SingleNS) / float64(r.PartitionedNS)
+	}
+	return r
+}

@@ -143,6 +143,18 @@ func gbpsOf(bytes uint64, horizon sim.Time) float64 {
 	return stats.RateGbps(bytes, horizon)
 }
 
+// newClusterN builds the simulation cluster for one run: domains engines
+// synchronized by conservative lookahead windows (see sim.Cluster). Values
+// below 1 mean a single engine. Every experiment routes its topology
+// construction through the cluster builders so that the same scenario
+// produces byte-identical results for any domain count.
+func newClusterN(domains int) *sim.Cluster {
+	if domains < 1 {
+		domains = 1
+	}
+	return sim.NewCluster(domains)
+}
+
 // simSpec is the default §5.1 simulation link spec.
 func simSpec() topo.LinkSpec { return topo.DefaultSim() }
 

@@ -32,11 +32,11 @@ func fabricSpecs() (edge, fab topo.LinkSpec) {
 // Under PQ the split follows flow counts; with weighted AQs deployed on
 // both leaf ingress pipelines it follows the weights. Returns per-entity
 // Gbps for (PQ A, PQ B, AQ A, AQ B).
-func ExtFabricIsolation(horizon sim.Time) (pqA, pqB, aqA, aqB float64) {
+func ExtFabricIsolation(horizon sim.Time, domains int) (pqA, pqB, aqA, aqB float64) {
 	run := func(useAQ bool) (float64, float64) {
-		eng := sim.NewEngine()
+		c := newClusterN(domains)
 		edge, fab := fabricSpecs()
-		f := topo.NewLeafSpine(eng, 2, 2, 4, edge, fab)
+		f := topo.NewLeafSpineIn(c, 2, 2, 4, edge, fab)
 		// Entity A: hosts 0,1 (leaf 0) -> hosts 4,5 (leaf 1).
 		// Entity B: hosts 2,3 (leaf 0) -> hosts 6,7 (leaf 1).
 		rc := newRxClassifier(f.Hosts[4:], 2, sim.Millisecond, func(p *packet.Packet) int {
@@ -70,7 +70,7 @@ func ExtFabricIsolation(horizon sim.Time) (pqA, pqB, aqA, aqB float64) {
 			[]*topo.Host{f.Hosts[4], f.Hosts[5]}, 8, ccFactory("cubic"), optA)
 		longFlows([]*topo.Host{f.Hosts[2], f.Hosts[3]},
 			[]*topo.Host{f.Hosts[6], f.Hosts[7]}, 16, ccFactory("cubic"), optB)
-		eng.RunUntil(horizon)
+		c.RunUntil(horizon)
 		warm := horizon / 4
 		return rc.Gbps(0, warm, horizon), rc.Gbps(1, warm, horizon)
 	}
@@ -83,16 +83,16 @@ func ExtFabricIsolation(horizon sim.Time) (pqA, pqB, aqA, aqB float64) {
 // a 2 Gbps inbound guarantee enforced by an egress-pipeline AQ on its
 // leaf. It returns the receiver's measured inbound rate and the fraction
 // of incast rounds completed, with and without the AQ.
-func ExtFabricIncast(horizon sim.Time) (pqGbps, aqGbps float64) {
+func ExtFabricIncast(horizon sim.Time, domains int) (pqGbps, aqGbps float64) {
 	run := func(useAQ bool) float64 {
-		eng := sim.NewEngine()
+		c := newClusterN(domains)
 		edge, fab := fabricSpecs()
-		f := topo.NewLeafSpine(eng, 3, 2, 3, edge, fab)
+		f := topo.NewLeafSpineIn(c, 3, 2, 3, edge, fab)
 		victim := f.Hosts[0]
 		meter := stats.NewMeter(sim.Millisecond)
 		victim.RxHook = func(p *packet.Packet) {
 			if p.Kind == packet.Data {
-				meter.Add(eng.Now(), p.Size)
+				meter.Add(victim.Engine().Now(), p.Size)
 			}
 		}
 		var opt transport.Options
@@ -115,23 +115,23 @@ func ExtFabricIncast(horizon sim.Time) (pqGbps, aqGbps float64) {
 			CC:            func() cc.Algorithm { return cc.NewDCTCP() },
 			Opt:           opt,
 		}
-		in.Start(eng)
-		eng.RunUntil(horizon)
+		in.Start()
+		c.RunUntil(horizon)
 		return meter.Gbps(horizon/4, horizon)
 	}
 	return run(false), run(true)
 }
 
 // ExtFabric renders both fabric extension results.
-func ExtFabric(horizon sim.Time) *Table {
+func ExtFabric(horizon sim.Time, domains int) *Table {
 	t := &Table{
 		Title:  "Extension: AQ on a 2-tier ECMP leaf-spine fabric",
 		Header: []string{"scenario", "PQ", "AQ"},
 	}
-	pqA, pqB, aqA, aqB := ExtFabricIsolation(horizon)
+	pqA, pqB, aqA, aqB := ExtFabricIsolation(horizon, domains)
 	t.AddRow("isolation: entity A (8 flows) Gbps", pqA, aqA)
 	t.AddRow("isolation: entity B (32 flows) Gbps", pqB, aqB)
-	pqIn, aqIn := ExtFabricIncast(horizon)
+	pqIn, aqIn := ExtFabricIncast(horizon, domains)
 	t.AddRow("8:1 incast victim inbound Gbps (guarantee 2)", pqIn, aqIn)
 	return t
 }

@@ -13,10 +13,10 @@ import (
 // fig8Run shares the bottleneck between entity A (1 long flow) and entity
 // B (n long flows), each on its own VM, and returns (A, B) goodput in Gbps.
 // weights sets the A:B share when AQ is used.
-func fig8Run(approach Approach, nB int, wA, wB float64, horizon sim.Time) (float64, float64) {
-	eng := sim.NewEngine()
+func fig8Run(approach Approach, nB int, wA, wB float64, horizon sim.Time, domains int) (float64, float64) {
+	c := newClusterN(domains)
 	spec := simSpec()
-	d := topo.NewDumbbell(eng, 2, 2, spec, spec)
+	d := topo.NewDumbbellIn(c, 2, 2, spec, spec)
 	rc := newRxClassifier(d.Right, 2, sim.Millisecond, func(p *packet.Packet) int {
 		return int(p.Dst) - 2 // dst 2 -> entity A, dst 3 -> entity B
 	})
@@ -38,7 +38,7 @@ func fig8Run(approach Approach, nB int, wA, wB float64, horizon sim.Time) (float
 	}
 	longFlows(d.Left[:1], d.Right[:1], 1, ccFactory("cubic"), optA)
 	longFlows(d.Left[1:2], d.Right[1:2], nB, ccFactory("cubic"), optB)
-	eng.RunUntil(horizon)
+	c.RunUntil(horizon)
 	warm := horizon / 4
 	return rc.Gbps(0, warm, horizon), rc.Gbps(1, warm, horizon)
 }
@@ -47,7 +47,7 @@ func fig8Run(approach Approach, nB int, wA, wB float64, horizon sim.Time) (float
 // raises its flow count. Under PQ the split follows the flow count; under
 // AQ it follows the configured weights (1:1 and 1:2 shown, as in the
 // paper).
-func Fig8(flowCounts []int, horizon sim.Time) *Table {
+func Fig8(flowCounts []int, horizon sim.Time, domains int) *Table {
 	if len(flowCounts) == 0 {
 		flowCounts = []int{1, 4, 16, 64}
 	}
@@ -56,9 +56,9 @@ func Fig8(flowCounts []int, horizon sim.Time) *Table {
 		Header: []string{"flows in B", "PQ A", "PQ B", "AQ 1:1 A", "AQ 1:1 B", "AQ 1:2 A", "AQ 1:2 B"},
 	}
 	for _, n := range flowCounts {
-		pqA, pqB := fig8Run(PQ, n, 1, 1, horizon)
-		aqA, aqB := fig8Run(AQ, n, 1, 1, horizon)
-		wA, wB := fig8Run(AQ, n, 1, 2, horizon)
+		pqA, pqB := fig8Run(PQ, n, 1, 1, horizon, domains)
+		aqA, aqB := fig8Run(AQ, n, 1, 1, horizon, domains)
+		wA, wB := fig8Run(AQ, n, 1, 2, horizon, domains)
 		t.AddRow(fmt.Sprint(n), pqA, pqB, aqA, aqB, wA, wB)
 	}
 	return t

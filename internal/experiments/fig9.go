@@ -34,11 +34,11 @@ type Fig9Result struct {
 // starts at i*phase; the run ends after len(entities)+1 phases. Under AQ
 // the controller re-divides the link among the active entities at every
 // join (weighted mode, §4.1).
-func fig9Run(approach Approach, phase sim.Time) Fig9Result {
-	eng := sim.NewEngine()
+func fig9Run(approach Approach, phase sim.Time, domains int) Fig9Result {
+	c := newClusterN(domains)
 	spec := simSpec()
 	n := len(Fig9Entities)
-	d := topo.NewDumbbell(eng, n, n, spec, spec)
+	d := topo.NewDumbbellIn(c, n, n, spec, spec)
 	rc := newRxClassifier(d.Right, n, sim.Millisecond, func(p *packet.Packet) int {
 		return int(p.Dst) - n
 	})
@@ -51,11 +51,14 @@ func fig9Run(approach Approach, phase sim.Time) Fig9Result {
 			if err != nil {
 				panic(err)
 			}
-			// Granted but idle until the entity starts sending.
+			// Granted but idle until the entity starts sending. The
+			// activation mutates S1's AQ table, so it must run on S1's
+			// engine — under partitioning that is the domain whose events
+			// actually read the table.
 			ctrl.SetActive(g.ID, false)
 			opt.IngressAQ = g.ID
 			id := g.ID
-			eng.At(sim.Time(i)*phase, func() { ctrl.SetActive(id, true) })
+			d.S1.Engine().At(sim.Time(i)*phase, func() { ctrl.SetActive(id, true) })
 		}
 		src, dst := d.Left[i], d.Right[i]
 		start := sim.Time(i) * phase
@@ -68,7 +71,7 @@ func fig9Run(approach Approach, phase sim.Time) Fig9Result {
 		}
 	}
 	horizon := sim.Time(n+1) * phase
-	eng.RunUntil(horizon)
+	c.RunUntil(horizon)
 
 	res := Fig9Result{Phase: phase, Series: make([][]float64, n)}
 	for i := 0; i < n; i++ {
@@ -85,12 +88,12 @@ func fig9Run(approach Approach, phase sim.Time) Fig9Result {
 
 // Fig9 reproduces Figure 9: per-phase throughput of TCP and UDP entities
 // under PQ (a) and AQ (b).
-func Fig9(phase sim.Time) (*Table, *Table) {
+func Fig9(phase sim.Time, domains int) (*Table, *Table) {
 	if phase <= 0 {
 		phase = 100 * sim.Millisecond
 	}
 	mk := func(ap Approach, title string) *Table {
-		r := fig9Run(ap, phase)
+		r := fig9Run(ap, phase, domains)
 		t := &Table{Title: title, Header: []string{"entity"}}
 		for ph := 0; ph < len(Fig9Entities)+1; ph++ {
 			t.Header = append(t.Header, fmt.Sprintf("phase %d (n=%d)", ph+1, min(ph+1, len(Fig9Entities))))

@@ -24,11 +24,11 @@ import (
 // (classified by entity tag); the same setup is run with one weighted AQ
 // per entity instead. Returns Jain's fairness index across the entities'
 // goodputs for DRR and AQ.
-func ExtPerEntityQueues(entities, hwQueues int, horizon sim.Time) (drrJain, aqJain float64) {
+func ExtPerEntityQueues(entities, hwQueues int, horizon sim.Time, domains int) (drrJain, aqJain float64) {
 	run := func(useAQ bool) float64 {
-		eng := sim.NewEngine()
+		c := newClusterN(domains)
 		spec := simSpec()
-		d := topo.NewDumbbell(eng, entities, entities, spec, spec)
+		d := topo.NewDumbbellIn(c, entities, entities, spec, spec)
 		if !useAQ {
 			// Replace the bottleneck's FIFO with a DRR over the hardware
 			// queues, classified by the entity tag in the header.
@@ -54,7 +54,7 @@ func ExtPerEntityQueues(entities, hwQueues int, horizon sim.Time) (drrJain, aqJa
 			}
 			longFlows(d.Left[i:i+1], d.Right[i:i+1], 1+(3*i)%5, ccFactory("cubic"), opt)
 		}
-		eng.RunUntil(horizon)
+		c.RunUntil(horizon)
 		warm := horizon / 4
 		shares := make([]float64, entities)
 		for i := 0; i < entities; i++ {
@@ -68,13 +68,13 @@ func ExtPerEntityQueues(entities, hwQueues int, horizon sim.Time) (drrJain, aqJa
 
 // ExtPerQueueTable sweeps the entity count against a fixed 8-queue DRR
 // port and renders the fairness comparison.
-func ExtPerQueueTable(horizon sim.Time) *Table {
+func ExtPerQueueTable(horizon sim.Time, domains int) *Table {
 	t := &Table{
 		Title:  "Extension: per-entity hardware queues (DRR, 8 queues) vs AQ — Jain fairness",
 		Header: []string{"#entities", "DRR(8 queues)", "AQ"},
 	}
 	for _, n := range []int{4, 8, 16, 32} {
-		dj, aj := ExtPerEntityQueues(n, 8, horizon)
+		dj, aj := ExtPerEntityQueues(n, 8, horizon, domains)
 		t.AddRow(fmt.Sprint(n), dj, aj)
 	}
 	return t

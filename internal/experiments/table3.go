@@ -27,22 +27,23 @@ type Table3Row struct {
 // saturating. VM A's traffic profile is 5 Gbps outbound and 5 Gbps
 // inbound. The function returns the windowed min~max of A's outbound and
 // inbound rates.
-func table3Run(approach Approach, seed uint64) Table3Row {
-	return table3RunFor(approach, seed, 400*sim.Millisecond)
+func table3Run(approach Approach, seed uint64, domains int) Table3Row {
+	return table3RunFor(approach, seed, 400*sim.Millisecond, domains)
 }
 
 // table3RunFor is table3Run with an explicit horizon (tests shorten it).
-func table3RunFor(approach Approach, seed uint64, horizon sim.Time) Table3Row {
-	eng := sim.NewEngine()
+func table3RunFor(approach Approach, seed uint64, horizon sim.Time, domains int) Table3Row {
+	c := newClusterN(domains)
 	spec := testbedSpec()
-	st := topo.NewStar(eng, 4, spec)
+	st := topo.NewStarIn(c, 4, spec)
 	warmup := horizon / 4
 	window := horizon / 12
 	const profile = 5 * units.Gbps
 	a := st.Hosts[0]
 
 	// Outbound = data from A delivered anywhere; inbound = data delivered
-	// to A.
+	// to A. The hooks read the receiving host's own clock: under
+	// partitioning the run has no single "the" engine to ask for the time.
 	outMeter := stats.NewMeter(sim.Millisecond)
 	inMeter := stats.NewMeter(sim.Millisecond)
 	for _, h := range st.Hosts {
@@ -52,10 +53,10 @@ func table3RunFor(approach Approach, seed uint64, horizon sim.Time) Table3Row {
 				return
 			}
 			if p.Src == a.ID() {
-				outMeter.Add(eng.Now(), p.Size)
+				outMeter.Add(h.Engine().Now(), p.Size)
 			}
 			if p.Dst == a.ID() {
-				inMeter.Add(eng.Now(), p.Size)
+				inMeter.Add(h.Engine().Now(), p.Size)
 			}
 		}
 	}
@@ -85,7 +86,9 @@ func table3RunFor(approach Approach, seed uint64, horizon sim.Time) Table3Row {
 			ratelimit.AttachPRL(h, profile)
 		}
 	case DRL:
-		drl = ratelimit.NewDRL(eng, spec.Rate, ratelimit.DefaultInterval)
+		// All VMs live in domain 0 (NewStarIn keeps the hosts together for
+		// exactly this reason), so the DRL control loop runs there.
+		drl = ratelimit.NewDRL(st.Eng, spec.Rate, ratelimit.DefaultInterval)
 		for _, h := range st.Hosts {
 			drl.AddVM(h, ratelimit.Profile{OutMin: profile, OutMax: profile, InMax: profile})
 		}
@@ -117,7 +120,7 @@ func table3RunFor(approach Approach, seed uint64, horizon sim.Time) Table3Row {
 	for _, h := range others {
 		startWorkers(h, []*topo.Host{a}, 8)
 	}
-	eng.RunUntil(horizon)
+	c.RunUntil(horizon)
 
 	rangeOf := func(m *stats.Meter) (float64, float64) {
 		lo, hi := -1.0, -1.0
@@ -142,17 +145,17 @@ func table3RunFor(approach Approach, seed uint64, horizon sim.Time) Table3Row {
 // the four approaches, plus a second AQ run standing in for the paper's
 // independent simulator measurement (different seed; documented
 // substitution).
-func Table3() *Table {
+func Table3(domains int) *Table {
 	t := &Table{
 		Title:  "Table 3: outbound and inbound rates of VM A (profile 5 Gbps each way)",
 		Header: []string{"approach", "outbound (Gbps)", "inbound (Gbps)"},
 	}
 	t.AddRow("Ideal", "5.00", "5.00")
 	rows := []Table3Row{
-		table3Run(PQ, 1),
-		table3Run(PRL, 1),
-		table3Run(DRL, 1),
-		table3Run(AQ, 1),
+		table3Run(PQ, 1, domains),
+		table3Run(PRL, 1, domains),
+		table3Run(DRL, 1, domains),
+		table3Run(AQ, 1, domains),
 	}
 	labels := []string{"PQ", "PRL", "DRL", "AQ-testbed"}
 	for i, r := range rows {
@@ -160,7 +163,7 @@ func Table3() *Table {
 			fmt.Sprintf("%.1f ~ %.1f", r.OutLo, r.OutHi),
 			fmt.Sprintf("%.1f ~ %.1f", r.InLo, r.InHi))
 	}
-	sim2 := table3Run(AQ, 424242)
+	sim2 := table3Run(AQ, 424242, domains)
 	t.AddRow("AQ-simulator",
 		fmt.Sprintf("%.1f ~ %.1f", sim2.OutLo, sim2.OutHi),
 		fmt.Sprintf("%.1f ~ %.1f", sim2.InLo, sim2.InHi))

@@ -28,13 +28,13 @@ type Table4Row struct {
 // at 25 Gbps and the physical queuing delay at the trunk is recorded;
 // under AQ the trunk runs at 100 Gbps with a 25 Gbps AQ, and the virtual
 // queuing delay carried in the packets is recorded (§5.5).
-func table4Run(ccName string, useAQ bool) (float64, *stats.Percentiles) {
-	return table4RunFor(ccName, useAQ, 300*sim.Millisecond)
+func table4Run(ccName string, useAQ bool, domains int) (float64, *stats.Percentiles) {
+	return table4RunFor(ccName, useAQ, 300*sim.Millisecond, domains)
 }
 
 // table4RunFor is table4Run with an explicit horizon (tests shorten it).
-func table4RunFor(ccName string, useAQ bool, horizon sim.Time) (float64, *stats.Percentiles) {
-	eng := sim.NewEngine()
+func table4RunFor(ccName string, useAQ bool, horizon sim.Time, domains int) (float64, *stats.Percentiles) {
+	c := newClusterN(domains)
 	const (
 		qLimit = 1000 * 1000
 		ecnK   = 160 * 1000
@@ -52,7 +52,7 @@ func table4RunFor(ccName string, useAQ bool, horizon sim.Time) (float64, *stats.
 		trunk.QueueLimit = qLimit
 		trunk.ECNThreshold = ecnK
 	}
-	d := topo.NewDumbbell(eng, 2, 2, edge, trunk)
+	d := topo.NewDumbbellIn(c, 2, 2, edge, trunk)
 
 	delays := &stats.Percentiles{}
 	var opt transport.Options
@@ -81,7 +81,7 @@ func table4RunFor(ccName string, useAQ bool, horizon sim.Time) (float64, *stats.
 		}
 	}
 	flows := longFlows(d.Left, d.Right, 5, ccFactory(ccName), opt)
-	eng.RunUntil(horizon)
+	c.RunUntil(horizon)
 	gbps := gbpsOf(sumAcked(flows), horizon)
 	_ = core.BytesPerAQ
 	return gbps, delays
@@ -93,15 +93,15 @@ var Table4CCs = []string{"cubic", "newreno", "dctcp"}
 // Table4 reproduces Table 4: throughput and 95th-percentile queuing delay
 // of an entity under PQ (25 Gbps link) and AQ (25 Gbps allocation on a
 // 100 Gbps link).
-func Table4() (*Table, []Table4Row) {
+func Table4(domains int) (*Table, []Table4Row) {
 	t := &Table{
 		Title:  "Table 4: AQ vs PQ behaviour preservation (25 Gbps entity)",
 		Header: []string{"CC", "PQ thpt (Gbps)", "PQ p95 delay", "AQ thpt (Gbps)", "AQ p95 delay", "p95 rel diff"},
 	}
 	var rows []Table4Row
 	for _, ccName := range Table4CCs {
-		pqG, pqD := table4Run(ccName, false)
-		aqG, aqD := table4Run(ccName, true)
+		pqG, pqD := table4Run(ccName, false, domains)
+		aqG, aqD := table4Run(ccName, true, domains)
 		row := Table4Row{
 			CC:     ccName,
 			PQGbps: pqG, AQGbps: aqG,

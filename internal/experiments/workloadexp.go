@@ -29,14 +29,14 @@ type wlSpec struct {
 // shared trace queue one after another ("runs the web search trace",
 // §5.2): concurrency equals the VM count, which is exactly what makes the
 // four approaches differ.
-func wlRun(approach Approach, specs []wlSpec, seed uint64) []sim.Time {
-	eng := sim.NewEngine()
+func wlRun(approach Approach, specs []wlSpec, seed uint64, domains int) []sim.Time {
+	c := newClusterN(domains)
 	spec := simSpec()
 	totalVMs := 0
 	for _, s := range specs {
 		totalVMs += s.vms
 	}
-	d := topo.NewDumbbell(eng, totalVMs, totalVMs, spec, spec)
+	d := topo.NewDumbbellIn(c, totalVMs, totalVMs, spec, spec)
 
 	var totalWeight float64
 	for _, s := range specs {
@@ -46,7 +46,10 @@ func wlRun(approach Approach, specs []wlSpec, seed uint64) []sim.Time {
 	ctrl := control.NewController(spec.Rate)
 	var drl *ratelimit.DRL
 	if approach == DRL {
-		drl = ratelimit.NewDRL(eng, spec.Rate, ratelimit.DefaultInterval)
+		// The DRL control loop re-programs every sender VM's token buckets
+		// each interval; all sender VMs live in domain 0 by construction
+		// (NewDumbbellIn keeps the left side whole), so the loop runs there.
+		drl = ratelimit.NewDRL(d.Eng, spec.Rate, ratelimit.DefaultInterval)
 	}
 
 	r := sim.NewRand(seed)
@@ -110,7 +113,7 @@ func wlRun(approach Approach, specs []wlSpec, seed uint64) []sim.Time {
 		tr := &stats.FCT{}
 		trackers[i] = tr
 		id := grantID
-		runClosedLoop(eng, srcs, dsts, sizes, ccFactory(s.cc), opt, tr, r, func() {
+		runClosedLoop(srcs, dsts, sizes, ccFactory(s.cc), opt, tr, r, func() {
 			if approach == AQ {
 				// The entity is done; return its share to the others
 				// (weighted-mode rebalance, §4.1).
@@ -121,7 +124,7 @@ func wlRun(approach Approach, specs []wlSpec, seed uint64) []sim.Time {
 	if drl != nil {
 		drl.Start()
 	}
-	eng.RunUntil(60 * sim.Second) // generous; closed loops finish well before
+	c.RunUntil(60 * sim.Second) // generous; closed loops finish well before
 	out := make([]sim.Time, len(specs))
 	for i, tr := range trackers {
 		if !tr.AllDone() {
@@ -137,7 +140,13 @@ func wlRun(approach Approach, specs []wlSpec, seed uint64) []sim.Time {
 // runClosedLoop starts one closed-loop worker per source VM: each worker
 // repeatedly takes the next flow from the shared trace and runs it to a
 // random destination VM of the entity, until the trace is exhausted.
-func runClosedLoop(eng *sim.Engine, srcs, dsts []*topo.Host, sizes []int64,
+//
+// The shared cursor and random stream are drawn from completion callbacks
+// at runtime, which is only deterministic across domain counts because
+// every source VM lives in domain 0 (NewDumbbellIn keeps the sender side
+// whole) and the conservative sync protocol preserves each engine's event
+// order exactly as in the single-engine run.
+func runClosedLoop(srcs, dsts []*topo.Host, sizes []int64,
 	fac cc.Factory, opt transport.Options, tr *stats.FCT,
 	r *sim.Rand, onAllDone func()) {
 	next := 0
@@ -153,7 +162,7 @@ func runClosedLoop(eng *sim.Engine, srcs, dsts []*topo.Host, sizes []int64,
 		next++
 		dst := dsts[r.Intn(len(dsts))]
 		s := transport.NewSender(vm, dst, size, fac(), opt)
-		start := eng.Now()
+		start := vm.Engine().Now()
 		tr.FlowStarted(size)
 		s.OnComplete = func(now sim.Time) {
 			tr.FlowDone(start, now)

@@ -30,6 +30,12 @@ type Params struct {
 	Seed uint64 `json:"seed"`
 	// Quick requests a reduced workload for a fast look.
 	Quick bool `json:"quick,omitempty"`
+	// Domains partitions the scenario's topology into this many
+	// conservative time-synced simulation domains (see sim.Cluster); 0 and
+	// 1 both mean a single engine. Results are byte-identical for any
+	// value — the knob trades nothing but execution strategy — which is
+	// why Fingerprint excludes it.
+	Domains int `json:"domains,omitempty"`
 }
 
 // Experiment is a registered, named experiment. Run must be safe to call

@@ -36,11 +36,11 @@ func debugRelease(p *Packet) {
 	}
 	*p = Packet{
 		Src: -1, Dst: -1,
-		Flow: ^FlowID(0),
-		Kind: Kind(0xFF),
-		Size: PoisonSize,
-		Seq:  PoisonSeq,
-		Ack:  PoisonSeq,
+		Flow:   ^FlowID(0),
+		Kind:   Kind(0xFF),
+		Size:   PoisonSize,
+		Seq:    PoisonSeq,
+		Ack:    PoisonSeq,
 		SentAt: sim.Time(PoisonSeq),
 	}
 }

@@ -142,6 +142,50 @@ func TestFIFOMaxBytesHighWater(t *testing.T) {
 	}
 }
 
+func TestFIFOPopDrainedIgnoresRecycledHead(t *testing.T) {
+	q := New(0, 0)
+	a := data(100)
+	b := data(200)
+	q.Push(0, a)
+	q.Push(0, b)
+	// The drain contract: the caller recorded the size at enqueue time, and
+	// the head object may have been recycled since. PopDrained must account
+	// with the supplied size, never by reading the (possibly reused) packet.
+	a.Size = 9999
+	q.PopDrained(100)
+	if q.Len() != 1 || q.Bytes() != 200 {
+		t.Fatalf("after drain: len=%d bytes=%d, want 1/200", q.Len(), q.Bytes())
+	}
+	if q.Peek() != b {
+		t.Fatal("drain removed the wrong entry")
+	}
+	q.PopDrained(200)
+	if q.Len() != 0 || q.Bytes() != 0 {
+		t.Fatalf("after full drain: len=%d bytes=%d, want 0/0", q.Len(), q.Bytes())
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop on fully drained queue returned a packet")
+	}
+}
+
+func TestFIFOPopDrainedInterleavesWithPop(t *testing.T) {
+	// Drains and pops can alternate (the pipe drains lazily, stats code
+	// pops); byte accounting must stay exact either way.
+	q := New(0, 0)
+	sizes := []int{100, 200, 300, 400}
+	for _, s := range sizes {
+		q.Push(0, data(s))
+	}
+	q.PopDrained(100)
+	if got := q.Pop(); got == nil || got.Size != 200 {
+		t.Fatalf("pop after drain returned size %v, want 200", got)
+	}
+	q.PopDrained(300)
+	if q.Len() != 1 || q.Bytes() != 400 {
+		t.Fatalf("len=%d bytes=%d, want 1/400", q.Len(), q.Bytes())
+	}
+}
+
 func TestRingGrowthPreservesOrder(t *testing.T) {
 	q := New(0, 0)
 	// Interleave pushes and pops so head moves, then force growth.

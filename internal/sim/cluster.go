@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cluster runs a partitioned simulation: a topology is split into N
+// domains, each owning a private Engine (clock, event heap, packet free
+// list, ID/seed sequences), synchronized by conservative lookahead.
+//
+// The protocol is classic null-message-free windowed PDES. Let L be the
+// minimum link propagation delay in the topology (builders report every
+// link through ObserveLinkDelay). All domains advance to T+L, boundary
+// pipes deposit their cross-domain deliveries in per-pipe mailboxes
+// (Outbox) instead of scheduling on the remote engine directly, the
+// mailboxes are flushed, and the next window starts. This is safe because
+// a packet that leaves its domain during [T, T+L) cannot arrive before
+// T+L: delivery time = departure + propagation ≥ T + L, so no domain ever
+// receives an event in its past.
+//
+// Determinism does not depend on the window size. Cross-domain deliveries
+// are pushed onto the destination heap at flush time — later than a
+// single-domain run would have pushed them — so same-instant ordering
+// cannot be left to scheduling order. Cluster-built pipes therefore
+// deliver on per-pipe lanes (Engine.AtOrdered): at equal times the
+// construction-assigned lane decides, local anonymous events (lane 0)
+// always precede deliveries, and within one pipe delivery times are
+// strictly increasing, so no tie ever falls through to the push order.
+// With identities and seeds drawn from the cluster's own sequences during
+// (single-threaded) construction, a scenario's results are a pure function
+// of the topology and workload — byte-identical for any N.
+//
+// Construction is always single-threaded. RunUntil advances the domains
+// of each window sequentially by default ("cooperative" mode, always
+// safe); SetParallel runs them on goroutines, which is only sound when
+// nothing crosses domains outside the mailboxes at runtime — no shared
+// meters, no cross-domain flow registration — as in the benchcore
+// fat-tree scenario.
+type Cluster struct {
+	engines []*Engine
+	seqs    seqTable
+
+	lanes     uint32
+	lookahead Time // min observed link delay; 0 until a link is reported
+	outboxes  []*Outbox
+	parallel  bool
+	now       Time
+
+	// Windows counts synchronization windows executed, for tests and the
+	// benchcore report.
+	Windows uint64
+}
+
+// NewCluster returns a cluster of n fresh engines (n >= 1).
+func NewCluster(n int) *Cluster {
+	if n < 1 {
+		panic("sim: cluster needs at least one domain")
+	}
+	c := &Cluster{engines: make([]*Engine, n)}
+	for i := range c.engines {
+		c.engines[i] = NewEngine()
+	}
+	return c
+}
+
+// N returns the number of domains.
+func (c *Cluster) N() int { return len(c.engines) }
+
+// Engine returns domain i's engine.
+func (c *Cluster) Engine(i int) *Engine { return c.engines[i] }
+
+// Engines returns all domain engines, in domain order.
+func (c *Cluster) Engines() []*Engine { return c.engines }
+
+// Now returns the cluster clock: the time every domain has advanced to.
+func (c *Cluster) Now() Time { return c.now }
+
+// NextSeq draws from the named cluster-scoped sequence. Builders derive
+// component identities and RNG seeds from cluster sequences (not engine
+// ones) so that a component's identity depends only on construction order,
+// never on which domain it was placed in.
+func (c *Cluster) NextSeq(name string) uint64 { return c.seqs.next(c.seqs.domain(name)) }
+
+// SeqDomain registers the named cluster sequence and returns its handle;
+// see Engine.SeqDomain.
+func (c *Cluster) SeqDomain(name string) SeqDomain { return c.seqs.domain(name) }
+
+// NextIn draws from a cluster sequence registered with SeqDomain.
+func (c *Cluster) NextIn(d SeqDomain) uint64 { return c.seqs.next(d) }
+
+// NextLane hands out the next ordering lane (1, 2, ...); lane 0 is the
+// anonymous lane of ordinary events. Builders assign one per pipe.
+func (c *Cluster) NextLane() uint32 {
+	if c.lanes >= MaxLane {
+		panic("sim: out of ordering lanes")
+	}
+	c.lanes++
+	return c.lanes
+}
+
+// ObserveLinkDelay folds one link's propagation delay into the lookahead.
+// Builders report every link — not just boundary ones — so the window size
+// is a property of the topology alone and identical for every partitioning.
+func (c *Cluster) ObserveLinkDelay(d Time) {
+	if d <= 0 {
+		return
+	}
+	if c.lookahead == 0 || d < c.lookahead {
+		c.lookahead = d
+	}
+}
+
+// Lookahead returns the synchronization window: the minimum reported link
+// delay, or 0 when no link has been reported yet.
+func (c *Cluster) Lookahead() Time { return c.lookahead }
+
+// SetParallel switches RunUntil between advancing the window's domains
+// sequentially (false, the default, always safe) and on goroutines (true;
+// sound only for scenarios with no cross-domain state outside the
+// mailboxes).
+func (c *Cluster) SetParallel(on bool) { c.parallel = on }
+
+// Outbox creates the mailbox for one boundary pipe, delivering into dst on
+// the given ordering lane, and registers it for flushing. fn is invoked
+// with each posted argument at its posted time.
+func (c *Cluster) Outbox(dst *Engine, lane uint32, fn func(any)) *Outbox {
+	o := &Outbox{dst: dst, lane: lane, fn: fn}
+	c.outboxes = append(c.outboxes, o)
+	return o
+}
+
+// RunUntil advances every domain to deadline, window by window, flushing
+// the boundary mailboxes between windows, then spills the domains' packet
+// free lists back to the shared pool (mirroring Engine.RunUntil).
+func (c *Cluster) RunUntil(deadline Time) {
+	if deadline < c.now {
+		panic(fmt.Sprintf("sim: cluster run until %v which is before now %v", deadline, c.now))
+	}
+	if len(c.outboxes) == 0 {
+		// No boundary links: the domains cannot interact, so each runs
+		// straight to the deadline in one window.
+		if c.now < deadline {
+			c.advance(deadline)
+			c.now = deadline
+			c.Windows++
+		}
+	} else {
+		L := c.lookahead
+		if L <= 0 {
+			panic("sim: cluster has boundary links but no positive link delay for lookahead")
+		}
+		for c.now < deadline {
+			w := c.now + L
+			if w > deadline {
+				w = deadline
+			}
+			c.advance(w)
+			c.now = w
+			c.Windows++
+			for _, o := range c.outboxes {
+				o.flush()
+			}
+		}
+	}
+	for _, e := range c.engines {
+		e.drainPool()
+	}
+}
+
+// advance runs every domain to w, sequentially or on goroutines.
+func (c *Cluster) advance(w Time) {
+	if !c.parallel || len(c.engines) == 1 {
+		for _, e := range c.engines {
+			e.runTo(w)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, e := range c.engines {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.runTo(w)
+		}(e)
+	}
+	wg.Wait()
+}
+
+// Outbox is the deterministic mailbox of one boundary pipe: the pipe's
+// sending side posts (delivery time, packet) pairs during a window, and
+// the cluster flushes them onto the destination engine's heap — on the
+// pipe's ordering lane — once the window ends. Entries are posted in
+// strictly increasing delivery time (the pipe's no-reorder rule), so a
+// flush preserves the pipe's FIFO order, and cross-pipe ordering at equal
+// instants is fixed by the lanes. Exactly one goroutine (the source
+// domain's) posts to an outbox, and flushes happen between windows, so no
+// synchronization is needed even in parallel mode.
+type Outbox struct {
+	dst  *Engine
+	lane uint32
+	fn   func(any)
+	at   []Time
+	args []any
+}
+
+// Post records one delivery for the next flush.
+func (o *Outbox) Post(at Time, arg any) {
+	o.at = append(o.at, at)
+	o.args = append(o.args, arg)
+}
+
+// flush schedules the posted deliveries on the destination engine and
+// empties the mailbox, keeping its storage for the next window.
+func (o *Outbox) flush() {
+	for i, at := range o.at {
+		o.dst.AtOrdered(o.lane, at, o.fn, o.args[i])
+		o.args[i] = nil
+	}
+	o.at = o.at[:0]
+	o.args = o.args[:0]
+}

@@ -98,6 +98,15 @@ func (e *Event) Time() Time { return e.at }
 // an *Event so the caller can cancel or re-arm them. Detached events
 // (AtDetached) carry their callback inline: no Event object exists at all,
 // so scheduling one allocates nothing and firing one dereferences nothing.
+// The seq field actually holds an *ordering word*: lane<<laneOrdShift | seq.
+// Ordinary events run on lane 0, so their word is the raw scheduling
+// sequence and same-instant events fire in scheduling order, as ever.
+// Components that must order same-instant events identically regardless of
+// when (or on which engine) the event was pushed — boundary-pipe deliveries
+// flushed from a cluster mailbox versus local deliveries armed in place —
+// schedule through AtOrdered with a construction-assigned lane: at equal
+// times the lane decides, and the push-order-dependent seq only breaks ties
+// within one lane, where producers are strictly ordered by construction.
 type heapKey struct {
 	at  Time
 	seq uint64
@@ -121,10 +130,10 @@ func (e *Engine) setIndex(i int) {
 type Engine struct {
 	now  Time
 	seq  uint64
-	keys []heapKey // 4-ary min-heap on (at, seq)
+	keys []heapKey // 4-ary min-heap on (at, ord)
 	vals []heapVal // payloads, parallel to keys
 	dead int       // cancelled events still in the heap
-	ids  map[string]uint64
+	seqs seqTable
 	// Processed counts events that have fired (not cancelled ones); it is
 	// exposed for benchmarks and sanity checks.
 	Processed uint64
@@ -155,13 +164,23 @@ func (e *Engine) Now() Time { return e.now }
 // its engine: two runs that build the same topology and schedule the same
 // events get identical IDs and random streams, no matter how many other
 // engines run before or concurrently with them.
+//
+// NextSeq is the convenience form: it pays a map probe on the name every
+// call. Hot callers should register the name once with SeqDomain and draw
+// through NextIn.
 func (e *Engine) NextSeq(domain string) uint64 {
-	if e.ids == nil {
-		e.ids = make(map[string]uint64)
-	}
-	e.ids[domain]++
-	return e.ids[domain]
+	return e.seqs.next(e.seqs.domain(domain))
 }
+
+// SeqDomain registers (or finds) the named sequence and returns its handle.
+// Handles are small integers valid for the life of the engine; drawing
+// through one (NextIn) skips the per-call string hash and map probe that
+// NextSeq pays.
+func (e *Engine) SeqDomain(name string) SeqDomain { return e.seqs.domain(name) }
+
+// NextIn returns the next value (1, 2, ...) of a sequence previously
+// registered with SeqDomain.
+func (e *Engine) NextIn(d SeqDomain) uint64 { return e.seqs.next(d) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a logic error in a discrete-event model.
@@ -202,6 +221,31 @@ func (e *Engine) AfterDetached(d Time, fn func(any), arg any) {
 		d = 0
 	}
 	e.AtDetached(e.now+d, fn, arg)
+}
+
+// laneOrdShift positions the lane in the high bits of the ordering word.
+// 2^40 scheduling sequence numbers per engine (~a week of simulated
+// traffic at the hot-path event rate) and 2^24 lanes per cluster are both
+// far beyond any run this simulator hosts.
+const laneOrdShift = 40
+
+// MaxLane is the largest lane AtOrdered accepts.
+const MaxLane = 1<<24 - 1
+
+// AtOrdered is AtDetached on an explicit ordering lane: among events
+// scheduled for the same instant, a lower lane fires first, and only ties
+// within one lane fall back to scheduling order. Lane 0 is the anonymous
+// lane every other scheduling call uses. Cluster-built pipes deliver on
+// per-pipe lanes so that a partitioned run — where a boundary delivery is
+// pushed by the window flush rather than at plan time — fires same-instant
+// events in exactly the order the single-domain run does.
+func (e *Engine) AtOrdered(lane uint32, t Time, fn func(any), arg any) {
+	e.checkTime(t)
+	i := len(e.keys)
+	e.keys = append(e.keys, heapKey{at: t, seq: uint64(lane)<<laneOrdShift | e.seq})
+	e.vals = append(e.vals, heapVal{fnArg: fn, arg: arg})
+	e.seq++
+	e.up(i)
 }
 
 // Reschedule moves a timer to fire fn at absolute time t, reusing ev when
@@ -285,6 +329,14 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= deadline and then advances the
 // clock to the deadline. Events scheduled beyond the deadline stay pending.
 func (e *Engine) RunUntil(deadline Time) {
+	e.runTo(deadline)
+	e.drainPool()
+}
+
+// runTo is RunUntil without the pool spill: the cluster's windowed loop
+// calls it once per lookahead window, where draining the free list every
+// window would throw the pooled packets away thousands of times per run.
+func (e *Engine) runTo(deadline Time) {
 	for len(e.keys) > 0 {
 		at := e.keys[0].at
 		v := e.vals[0]
@@ -304,11 +356,14 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
-	// Spill the engine-local packet free list back to the shared pool so a
-	// finished run's packets are not stranded with the dying engine: the
-	// next engine in the process (another benchmark iteration, the next
-	// sweep job) refills from the shared tier instead of the allocator.
-	// Once per RunUntil, not per event, so the assertion cost is noise.
+}
+
+// drainPool spills the engine-local packet free list back to the shared
+// pool so a finished run's packets are not stranded with the dying engine:
+// the next engine in the process (another benchmark iteration, the next
+// sweep job) refills from the shared tier instead of the allocator. Called
+// once per RunUntil, not per event, so the assertion cost is noise.
+func (e *Engine) drainPool() {
 	if d, ok := e.packetPool.(interface{ Drain() }); ok {
 		d.Drain()
 	}

@@ -1,0 +1,35 @@
+package sim
+
+// SeqDomain is a pre-registered handle for a named ID/seed sequence (see
+// Engine.SeqDomain and Cluster.SeqDomain). It is a plain index into the
+// owner's sequence table: drawing through it is a bounds check and an
+// increment, with no string hashing on the hot path.
+type SeqDomain int
+
+// seqTable is the storage behind the named sequences of an Engine or a
+// Cluster: a registration map consulted only when a name is first seen (or
+// looked up via the string shim), and a flat counter array indexed by the
+// SeqDomain handles it hands out. Registration order is part of a run's
+// determinism contract, exactly like scheduling order.
+type seqTable struct {
+	idx  map[string]SeqDomain
+	vals []uint64
+}
+
+func (t *seqTable) domain(name string) SeqDomain {
+	d, ok := t.idx[name]
+	if !ok {
+		if t.idx == nil {
+			t.idx = make(map[string]SeqDomain)
+		}
+		d = SeqDomain(len(t.vals))
+		t.idx[name] = d
+		t.vals = append(t.vals, 0)
+	}
+	return d
+}
+
+func (t *seqTable) next(d SeqDomain) uint64 {
+	t.vals[d]++
+	return t.vals[d]
+}

@@ -36,7 +36,11 @@ func (m *Meter) Add(now sim.Time, n int) {
 	}
 	m.counts[idx] += uint64(n)
 	m.total += uint64(n)
-	if m.total == uint64(n) {
+	// first/last are min/max, not first/latest-add-wins: a meter shared by
+	// hosts in different domains of a partitioned run sees adds grouped by
+	// domain, not globally time-sorted, and min/max are the only summaries
+	// of the range that are order-independent.
+	if m.total == uint64(n) || now < m.first {
 		m.first = now
 	}
 	if now > m.last {
@@ -160,10 +164,18 @@ func (p *Percentiles) Quantile(q float64) float64 {
 	return p.samples[lo]*(1-frac) + p.samples[lo+1]*frac
 }
 
-// Mean returns the sample mean.
+// Mean returns the sample mean. The sum runs over the sorted samples:
+// float addition is not associative, and a distribution filled by several
+// domains of a partitioned run receives its samples grouped by domain, so
+// summing in add order would make the last bit of the mean depend on the
+// partitioning.
 func (p *Percentiles) Mean() float64 {
 	if len(p.samples) == 0 {
 		return 0
+	}
+	if !p.sorted {
+		sort.Float64s(p.samples)
+		p.sorted = true
 	}
 	var sum float64
 	for _, v := range p.samples {

@@ -59,6 +59,53 @@ func newPipe(eng *sim.Engine, spec LinkSpec, dst Receiver) *Pipe {
 	return p
 }
 
+// cbuild is the shared state of one cluster-aware topology build: the
+// cluster, with its sequence handles pre-registered. All identity-bearing
+// draws (AQM seeds, jitter seeds, lanes) go through the cluster, so a
+// component's identity is fixed by construction order alone — independent
+// of which domain it is placed in and of how many domains exist.
+type cbuild struct {
+	c       *sim.Cluster
+	aqmSeq  sim.SeqDomain
+	pipeSeq sim.SeqDomain
+}
+
+func newCbuild(c *sim.Cluster) *cbuild {
+	return &cbuild{
+		c:       c,
+		aqmSeq:  c.SeqDomain("queue.aqm"),
+		pipeSeq: c.SeqDomain("topo.pipe"),
+	}
+}
+
+// pipe builds one link direction owned by srcEng delivering into dst
+// (which runs on dstEng): it assigns the pipe's ordering lane, folds the
+// delay into the cluster lookahead, and — when the two ends live in
+// different domains — binds the boundary mailbox that carries deliveries
+// across engines at window flushes.
+func (b *cbuild) pipe(srcEng, dstEng *sim.Engine, spec LinkSpec, dst Receiver) *Pipe {
+	p := newPipeWithAQMSeq(srcEng, spec.Rate, spec.Delay, spec.QueueLimit,
+		spec.ECNThreshold, dst, b.c.NextIn(b.aqmSeq))
+	p.Queue().AQMDropNonECT = spec.AQMDrop
+	if spec.Jitter > 0 {
+		p.SetJitter(spec.Jitter, 0x9e3779b9+b.c.NextIn(b.pipeSeq)*0x1234567)
+	}
+	p.SetLane(b.c.NextLane())
+	b.c.ObserveLinkDelay(spec.Delay)
+	if srcEng != dstEng {
+		p.BindOutbox(b.c.Outbox(dstEng, p.Lane(), p.DeliverFunc()))
+	}
+	return p
+}
+
+// host builds a host on eng with a partition-invariant flow-ID stride:
+// host id of total hosts draws IDs id+1, id+1+total, id+1+2·total, ...
+func (b *cbuild) host(eng *sim.Engine, id packet.HostID, total int) *Host {
+	h := NewHost(eng, id)
+	h.SetFlowIDStride(uint64(id)+1, uint64(total))
+	return h
+}
+
 // Dumbbell is the simulation topology of Fig. 5a: nLeft senders attach to
 // switch S1, nRight receivers to S2, and S1—S2 is the shared bottleneck.
 type Dumbbell struct {
@@ -107,6 +154,54 @@ func NewDumbbell(eng *sim.Engine, nLeft, nRight int, edge, trunk LinkSpec) *Dumb
 	return d
 }
 
+// NewDumbbellIn builds the dumbbell across a cluster's domains with a
+// side-based split: S1 and the left (sender) hosts live in domain 0, S2
+// and the right hosts in domain 1 mod N, so the only boundary links are
+// the two trunk directions. Keeping each side whole matters beyond
+// minimizing mailboxes: controllers, rate limiters and samplers that touch
+// the senders and S1 together stay within one domain, so their runtime
+// state never crosses engines. With one domain the layout degenerates to
+// the single-engine dumbbell (and is byte-identical to any N-domain run of
+// the same scenario).
+func NewDumbbellIn(c *sim.Cluster, nLeft, nRight int, edge, trunk LinkSpec) *Dumbbell {
+	b := newCbuild(c)
+	left := c.Engine(0)
+	right := c.Engine(1 % c.N())
+	d := &Dumbbell{
+		Eng: left,
+		S1:  NewSwitch(left, "S1"),
+		S2:  NewSwitch(right, "S2"),
+	}
+	d.Bottleneck = b.pipe(left, right, trunk, d.S2)
+	d.ReverseTrunk = b.pipe(right, left, trunk, d.S1)
+	trunkPort1 := d.S1.AddPort(d.Bottleneck)
+	trunkPort2 := d.S2.AddPort(d.ReverseTrunk)
+
+	total := nLeft + nRight
+	id := packet.HostID(0)
+	for i := 0; i < nLeft; i++ {
+		h := b.host(left, id, total)
+		h.SetUplink(b.pipe(left, left, edge, d.S1))
+		down := b.pipe(left, left, edge, h)
+		port := d.S1.AddPort(down)
+		d.S1.AddRoute(id, port)
+		d.S2.AddRoute(id, trunkPort2)
+		d.Left = append(d.Left, h)
+		id++
+	}
+	for i := 0; i < nRight; i++ {
+		h := b.host(right, id, total)
+		h.SetUplink(b.pipe(right, right, edge, d.S2))
+		down := b.pipe(right, right, edge, h)
+		port := d.S2.AddPort(down)
+		d.S2.AddRoute(id, port)
+		d.S1.AddRoute(id, trunkPort1)
+		d.Right = append(d.Right, h)
+		id++
+	}
+	return d
+}
+
 // Host returns the host with the given global ID.
 func (d *Dumbbell) Host(id packet.HostID) *Host {
 	if int(id) < len(d.Left) {
@@ -134,6 +229,29 @@ func NewStar(eng *sim.Engine, n int, edge LinkSpec) *Star {
 		h := NewHost(eng, id)
 		h.SetUplink(newPipe(eng, edge, s.SW))
 		down := newPipe(eng, edge, h)
+		port := s.SW.AddPort(down)
+		s.SW.AddRoute(id, port)
+		s.Hosts = append(s.Hosts, h)
+		s.Down = append(s.Down, down)
+	}
+	return s
+}
+
+// NewStarIn builds the star across a cluster's domains: all hosts in
+// domain 0, the switch in domain 1 mod N, so every edge link is a
+// boundary. The hosts stay together because the testbed experiments run
+// host-spanning control loops (the DRL baseline re-programs every VM's
+// token buckets each interval) whose state must live in one domain.
+func NewStarIn(c *sim.Cluster, n int, edge LinkSpec) *Star {
+	b := newCbuild(c)
+	hostEng := c.Engine(0)
+	swEng := c.Engine(1 % c.N())
+	s := &Star{Eng: hostEng, SW: NewSwitch(swEng, "SW")}
+	for i := 0; i < n; i++ {
+		id := packet.HostID(i)
+		h := b.host(hostEng, id, n)
+		h.SetUplink(b.pipe(hostEng, swEng, edge, s.SW))
+		down := b.pipe(swEng, hostEng, edge, h)
 		port := s.SW.AddPort(down)
 		s.SW.AddRoute(id, port)
 		s.Hosts = append(s.Hosts, h)

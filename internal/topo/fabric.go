@@ -100,6 +100,80 @@ func NewLeafSpine(eng *sim.Engine, leaves, spines, hostsPerLeaf int, edge, fabri
 	return f
 }
 
+// NewLeafSpineIn builds the leaf-spine fabric across a cluster's domains
+// with a per-pod split: leaf l and its hosts live in domain l mod N, spine
+// s in domain s mod N. Boundary links are the leaf<->spine hops whose ends
+// land in different domains; host edges are always domain-internal, so
+// transports, their timers and per-host hooks stay with their leaf.
+func NewLeafSpineIn(c *sim.Cluster, leaves, spines, hostsPerLeaf int, edge, fabricLink LinkSpec) *LeafSpine {
+	if leaves < 1 || spines < 1 || hostsPerLeaf < 1 {
+		panic("topo: leaf-spine needs at least one of everything")
+	}
+	b := newCbuild(c)
+	leafEng := func(l int) *sim.Engine { return c.Engine(l % c.N()) }
+	spineEng := func(s int) *sim.Engine { return c.Engine(s % c.N()) }
+	f := &LeafSpine{
+		Eng:          c.Engine(0),
+		HostsPerLeaf: hostsPerLeaf,
+		LeafUp:       make([][]*Pipe, leaves),
+		SpineDown:    make([][]*Pipe, spines),
+	}
+	for s := 0; s < spines; s++ {
+		f.Spines = append(f.Spines, NewSwitch(spineEng(s), fmt.Sprintf("spine%d", s)))
+		f.SpineDown[s] = make([]*Pipe, leaves)
+	}
+	for l := 0; l < leaves; l++ {
+		f.Leaves = append(f.Leaves, NewSwitch(leafEng(l), fmt.Sprintf("leaf%d", l)))
+		f.LeafUp[l] = make([]*Pipe, spines)
+	}
+
+	// Leaf <-> spine mesh, in the same construction order as NewLeafSpine.
+	upPorts := make([][]int, leaves)
+	for l := 0; l < leaves; l++ {
+		upPorts[l] = make([]int, spines)
+		for s := 0; s < spines; s++ {
+			up := b.pipe(leafEng(l), spineEng(s), fabricLink, f.Spines[s])
+			f.LeafUp[l][s] = up
+			upPorts[l][s] = f.Leaves[l].AddPort(up)
+			down := b.pipe(spineEng(s), leafEng(l), fabricLink, f.Leaves[l])
+			f.SpineDown[s][l] = down
+			f.Spines[s].AddPort(down)
+		}
+	}
+
+	// Hosts.
+	total := leaves * hostsPerLeaf
+	id := packet.HostID(0)
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < hostsPerLeaf; i++ {
+			h := b.host(leafEng(l), id, total)
+			h.SetUplink(b.pipe(leafEng(l), leafEng(l), edge, f.Leaves[l]))
+			down := b.pipe(leafEng(l), leafEng(l), edge, h)
+			port := f.Leaves[l].AddPort(down)
+			f.Leaves[l].AddRoute(id, port)
+			f.Hosts = append(f.Hosts, h)
+			f.HostDown = append(f.HostDown, down)
+			id++
+		}
+	}
+
+	// Routing: identical rules to NewLeafSpine.
+	for l := 0; l < leaves; l++ {
+		for h := 0; h < total; h++ {
+			if h/hostsPerLeaf == l {
+				continue
+			}
+			f.Leaves[l].AddECMPRoute(packet.HostID(h), upPorts[l]...)
+		}
+	}
+	for s := 0; s < spines; s++ {
+		for h := 0; h < total; h++ {
+			f.Spines[s].AddRoute(packet.HostID(h), h/hostsPerLeaf)
+		}
+	}
+	return f
+}
+
 // Leaf returns the leaf switch of the given host.
 func (f *LeafSpine) Leaf(h packet.HostID) *Switch {
 	return f.Leaves[int(h)/f.HostsPerLeaf]

@@ -31,6 +31,21 @@ type Host struct {
 	out      *Pipe
 	handlers map[packet.FlowID]FlowHandler
 
+	// flowSeq is the host engine's pre-registered "transport.flow" handle
+	// (the sequence transport draws flow IDs from): registering once at
+	// construction keeps per-flow allocation off the string-keyed map.
+	flowSeq sim.SeqDomain
+	// flowNext/flowStride, when stride > 0, switch the host to
+	// partition-invariant flow IDs: host h of H draws base+h, base+h+H,
+	// base+h+2H, ... Each host owns a residue class, so the IDs a flow gets
+	// — and everything derived from them, ECMP path hashes above all —
+	// depend only on which host started it and how many flows that host
+	// started before, never on how the topology is partitioned across
+	// engines. Cluster builders configure this; without it flow IDs come
+	// from the engine sequence (dense, but shared across the engine).
+	flowNext   uint64
+	flowStride uint64
+
 	// dense, when non-nil, direct-indexes handlers by flow ID. Flow IDs
 	// come from the engine's "transport.flow" sequence, so they are dense
 	// per engine; per host the range stays tight enough for a flat slice
@@ -66,8 +81,31 @@ func NewHost(eng *sim.Engine, id packet.HostID) *Host {
 		eng:      eng,
 		pool:     packet.PoolFor(eng),
 		id:       id,
+		flowSeq:  eng.SeqDomain("transport.flow"),
 		handlers: make(map[packet.FlowID]FlowHandler),
 	}
+}
+
+// SetFlowIDStride switches the host to partition-invariant flow-ID
+// allocation: successive NextFlowID calls return first, first+stride,
+// first+2·stride, ... Cluster builders give host h of H hosts first=h+1
+// and stride=H, so every host owns a residue class and IDs are independent
+// of domain placement.
+func (h *Host) SetFlowIDStride(first, stride uint64) {
+	h.flowNext = first
+	h.flowStride = stride
+}
+
+// NextFlowID allocates the ID for a flow originating at this host: from
+// the host's stride when configured (see SetFlowIDStride), else from the
+// engine's shared "transport.flow" sequence via the pre-registered handle.
+func (h *Host) NextFlowID() packet.FlowID {
+	if h.flowStride > 0 {
+		id := h.flowNext
+		h.flowNext += h.flowStride
+		return packet.FlowID(id)
+	}
+	return packet.FlowID(h.eng.NextIn(h.flowSeq))
 }
 
 // ID returns the host identifier.

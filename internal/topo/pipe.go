@@ -46,6 +46,16 @@ type Pipe struct {
 	// matches what the event-driven transmitter would report.
 	started startRing
 
+	// lane is the pipe's ordering lane (0 for pipes built outside a
+	// cluster): deliveries are scheduled with it so that same-instant
+	// events fire in a partition-invariant order. See sim.Engine.AtOrdered.
+	lane uint32
+	// outbox, when non-nil, makes this a boundary pipe of a partitioned
+	// run: its destination lives on another engine, so deliveries are
+	// posted to the cluster mailbox instead of scheduled locally, and the
+	// cluster flushes them across at the end of each lookahead window.
+	outbox *sim.Outbox
+
 	// jitter, when positive, adds a uniform random component in
 	// [0, jitter) to each packet's propagation delay. Continuous streams
 	// from equal-rate links otherwise phase-lock at a downstream
@@ -90,11 +100,18 @@ type Pipe struct {
 // NewPipe builds a pipe draining into dst. queueLimit and ecnThreshold are
 // in bytes and configure the physical FIFO (see queue.New).
 func NewPipe(eng *sim.Engine, rate units.BitRate, delay sim.Time, queueLimit, ecnThreshold int, dst Receiver) *Pipe {
-	q := queue.New(queueLimit, ecnThreshold)
 	// Derive the AQM stream from the engine so concurrent runs never share
 	// (or race on) a process-global sequence and a run's randomness is a
 	// pure function of its own construction order.
-	q.SetAQMSeed(0xA11CE + eng.NextSeq("queue.aqm")*0x5bd1e995)
+	return newPipeWithAQMSeq(eng, rate, delay, queueLimit, ecnThreshold, dst, eng.NextSeq("queue.aqm"))
+}
+
+// newPipeWithAQMSeq is NewPipe with the AQM sequence draw supplied by the
+// caller: cluster builders draw it from the cluster, not the engine, so a
+// queue's RED stream does not depend on which domain its pipe landed in.
+func newPipeWithAQMSeq(eng *sim.Engine, rate units.BitRate, delay sim.Time, queueLimit, ecnThreshold int, dst Receiver, aqmSeq uint64) *Pipe {
+	q := queue.New(queueLimit, ecnThreshold)
+	q.SetAQMSeed(0xA11CE + aqmSeq*0x5bd1e995)
 	p := &Pipe{
 		eng:   eng,
 		pool:  packet.PoolFor(eng),
@@ -107,6 +124,28 @@ func NewPipe(eng *sim.Engine, rate units.BitRate, delay sim.Time, queueLimit, ec
 	p.txDoneFn = func(x any) { p.txDone(x.(*packet.Packet)) }
 	p.deliverFn = func(x any) { p.deliver(x.(*packet.Packet)) }
 	return p
+}
+
+// SetLane assigns the pipe's ordering lane. Cluster builders give every
+// pipe a unique lane drawn in construction order, so the lane — and with
+// it the relative order of same-instant deliveries — is independent of how
+// the topology is partitioned.
+func (p *Pipe) SetLane(lane uint32) { p.lane = lane }
+
+// Lane returns the pipe's ordering lane.
+func (p *Pipe) Lane() uint32 { return p.lane }
+
+// BindOutbox turns the pipe into a boundary pipe: deliveries are posted to
+// the mailbox (created by the cluster for this pipe's lane and destination
+// engine) instead of being scheduled on the local engine. Must be called
+// before any packet is sent.
+func (p *Pipe) BindOutbox(o *sim.Outbox) { p.outbox = o }
+
+// DeliverFunc returns the callback an outbox must invoke to hand a posted
+// packet to this pipe's destination; it runs on the destination engine, so
+// it bypasses the local delivery chain entirely.
+func (p *Pipe) DeliverFunc() func(any) {
+	return func(x any) { p.dst.Receive(x.(*packet.Packet)) }
 }
 
 // SetScheduler replaces the egress queue (e.g. with a queue.DRR). Only
@@ -265,11 +304,18 @@ func (p *Pipe) planDelivery(end sim.Time, pkt *packet.Packet) {
 		at = p.lastPlan + 1 // never reorder within a pipe
 	}
 	p.lastPlan = at
+	if p.outbox != nil {
+		// Boundary pipe: the destination is on another engine. Post to the
+		// mailbox; the cluster flushes it at the window end, which is never
+		// after `at` because at ≥ departure + delay ≥ window start + lookahead.
+		p.outbox.Post(at, pkt)
+		return
+	}
 	if p.deliveryArmed {
 		p.inflight.push(at, pkt)
 	} else {
 		p.deliveryArmed = true
-		p.eng.AtDetached(at, p.deliverFn, pkt)
+		p.eng.AtOrdered(p.lane, at, p.deliverFn, pkt)
 	}
 }
 
@@ -278,7 +324,7 @@ func (p *Pipe) planDelivery(end sim.Time, pkt *packet.Packet) {
 // schedule is independent of whatever the receiver does.
 func (p *Pipe) deliver(pkt *packet.Packet) {
 	if next, at, ok := p.inflight.pop(); ok {
-		p.eng.AtDetached(at, p.deliverFn, next)
+		p.eng.AtOrdered(p.lane, at, p.deliverFn, next)
 	} else {
 		p.deliveryArmed = false
 	}

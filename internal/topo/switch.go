@@ -81,6 +81,11 @@ func NewSwitch(eng *sim.Engine, name string) *Switch {
 	}
 }
 
+// Engine returns the simulation engine (domain) the switch runs on.
+// Experiments that mutate a switch's AQ tables from timed events must
+// schedule them here, not on an arbitrary domain's engine.
+func (s *Switch) Engine() *sim.Engine { return s.eng }
+
 // SetTrace attaches a sink to both AQ pipelines, labelled
 // "<name>:ingress" and "<name>:egress". The switch itself emits nothing —
 // the tables record the AQ drop/mark events, and hosts record the

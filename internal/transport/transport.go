@@ -23,6 +23,12 @@ import (
 // Flows only need to be unique within one simulation; deriving them from
 // the engine (rather than a process global) keeps every run deterministic
 // even when many runs execute concurrently in the same process.
+//
+// Senders themselves draw through topo.Host.NextFlowID instead: the host
+// holds a pre-registered handle for this same sequence (no per-flow string
+// map probe) and, in cluster-built topologies, a partition-invariant
+// stride allocation. This shim remains for callers that only have an
+// engine.
 func NextFlowID(eng *sim.Engine) packet.FlowID {
 	return packet.FlowID(eng.NextSeq("transport.flow"))
 }
@@ -138,7 +144,7 @@ func NewSender(src, dst *topo.Host, size int64, alg cc.Algorithm, opt Options) *
 		pool:  packet.PoolFor(src.Engine()),
 		src:   src,
 		dst:   dst,
-		flow:  NextFlowID(src.Engine()),
+		flow:  src.NextFlowID(),
 		alg:   alg,
 		opt:   opt,
 		size:  size,

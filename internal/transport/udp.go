@@ -57,7 +57,7 @@ func NewUDPSender(src, dst *topo.Host, rate units.BitRate, opt Options) *UDPSend
 		pool: packet.PoolFor(src.Engine()),
 		src:  src,
 		dst:  dst,
-		flow: NextFlowID(src.Engine()),
+		flow: src.NextFlowID(),
 		rate: rate,
 		mss:  opt.MSS,
 		opt:  opt,

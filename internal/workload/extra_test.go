@@ -64,7 +64,7 @@ func TestIncastRounds(t *testing.T) {
 		Period:        2 * sim.Millisecond,
 		Rounds:        5,
 	}
-	in.Start(eng)
+	in.Start()
 	eng.RunUntil(sim.Second)
 	if in.Tracker.Started != 4*5 {
 		t.Fatalf("started %d responses, want 20", in.Tracker.Started)
@@ -83,7 +83,7 @@ func TestIncastUnboundedStopsAtHorizon(t *testing.T) {
 		ResponseBytes: 10_000,
 		Period:        sim.Millisecond,
 	}
-	in.Start(eng)
+	in.Start()
 	eng.RunUntil(10 * sim.Millisecond)
 	// ~10 rounds of 2 senders.
 	if in.Tracker.Started < 16 || in.Tracker.Started > 24 {

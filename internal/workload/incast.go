@@ -31,8 +31,13 @@ type Incast struct {
 	Tracker *stats.FCT
 }
 
-// Start schedules the incast rounds on the engine.
-func (in *Incast) Start(eng *sim.Engine) {
+// Start schedules the incast rounds. Each sender drives its own rounds on
+// its own engine at the fixed times 0, Period, 2·Period, …: round starts
+// are construction data, not runtime coordination, so the pattern is
+// identical however the fabric is partitioned into domains (a single
+// scheduling engine would have to create senders on other domains'
+// engines mid-window, which the conservative sync protocol forbids).
+func (in *Incast) Start() {
 	if in.Tracker == nil {
 		in.Tracker = &stats.FCT{}
 	}
@@ -42,22 +47,24 @@ func (in *Incast) Start(eng *sim.Engine) {
 	if in.CC == nil {
 		in.CC = func() cc.Algorithm { return cc.NewDCTCP() }
 	}
-	round := 0
-	var fire func()
-	fire = func() {
-		if in.Rounds > 0 && round >= in.Rounds {
-			return
-		}
-		round++
-		for _, src := range in.Senders {
+	for _, src := range in.Senders {
+		src := src
+		eng := src.Engine()
+		round := 0
+		var fire func()
+		fire = func() {
+			if in.Rounds > 0 && round >= in.Rounds {
+				return
+			}
+			round++
 			s := transport.NewSender(src, in.Receiver, in.ResponseBytes, in.CC(), in.Opt)
 			start := eng.Now()
 			tr := in.Tracker
 			tr.FlowStarted(in.ResponseBytes)
 			s.OnComplete = func(now sim.Time) { tr.FlowDone(start, now) }
 			s.Start(0)
+			eng.After(in.Period, fire)
 		}
-		eng.After(in.Period, fire)
+		eng.After(0, fire)
 	}
-	eng.After(0, fire)
 }

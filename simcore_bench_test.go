@@ -31,3 +31,26 @@ func BenchmarkEngineChurn(b *testing.B) {
 	b.ReportAllocs()
 	benchcore.RunEngineChurn(b.N, 1024)
 }
+
+// BenchmarkFatTreeSingleEngine and BenchmarkFatTreePartitioned bracket the
+// partitioned large-fabric scenario -benchcore records: a k=4 fat tree with
+// all-cross-pod long flows, run whole vs split into two cooperative
+// domains. Comparing the two isolates the windowed-synchronization
+// overhead; any parallel speedup on multicore hosts comes on top of it.
+func BenchmarkFatTreeSingleEngine(b *testing.B) {
+	b.ReportAllocs()
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		pkts, _ = benchcore.RunFatTree(4, 5*sim.Millisecond, 1, false)
+	}
+	b.ReportMetric(float64(pkts), "pkts")
+}
+
+func BenchmarkFatTreePartitioned(b *testing.B) {
+	b.ReportAllocs()
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		pkts, _ = benchcore.RunFatTree(4, 5*sim.Millisecond, 2, false)
+	}
+	b.ReportMetric(float64(pkts), "pkts")
+}
