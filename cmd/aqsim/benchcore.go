@@ -20,6 +20,7 @@ const BenchCoreSchema = "aq-benchcore/v1"
 type coreMetrics struct {
 	Engine     benchcore.EngineResult     `json:"engine"`
 	Forwarding benchcore.ForwardingResult `json:"forwarding"`
+	Timers     *benchcore.TimersResult    `json:"timers,omitempty"`
 	FatTree    *benchcore.FatTreeResult   `json:"fattree,omitempty"`
 	Sweep      *harness.Bench             `json:"sweep,omitempty"`
 	// Note documents provenance (e.g. that a baseline was measured before
@@ -57,6 +58,14 @@ func runBenchCore(parallel, domains int, path string) {
 	fwd := benchcore.MeasureForwarding(forwardingRuns, 10*sim.Millisecond)
 	fmt.Printf("  %.0f ns/op, %.0f allocs/op, %d pkts/op (%.0f ns/pkt, %.2fM pkts/sec)\n",
 		fwd.NsPerOp, fwd.AllocsPerOp, fwd.PacketsPerOp, fwd.NsPerPacket, fwd.PacketsPerSec/1e6)
+
+	const timerFlows = 64
+	fmt.Printf("benchcore: timer-heavy churn, %d flows x 20ms, wheel vs heap\n", timerFlows)
+	tmr := benchcore.MeasureTimers(timerFlows, 20*sim.Millisecond)
+	fmt.Printf("  wheel %v, heap %v (speedup %.2fx, %d pkts/op, identical=%v)\n",
+		time.Duration(tmr.WheelNS).Round(time.Millisecond),
+		time.Duration(tmr.HeapNS).Round(time.Millisecond),
+		tmr.Speedup, tmr.PacketsPerOp, tmr.Identical)
 
 	ftDomains := domains
 	if ftDomains < 2 {
@@ -112,7 +121,7 @@ func runBenchCore(parallel, domains int, path string) {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Baseline:   readBaseline(path),
-		Current:    coreMetrics{Engine: eng, Forwarding: fwd, FatTree: &ft, Sweep: sweep},
+		Current:    coreMetrics{Engine: eng, Forwarding: fwd, Timers: &tmr, FatTree: &ft, Sweep: sweep},
 	}
 	if rec.Baseline != nil {
 		b, c := rec.Baseline.Forwarding, rec.Current.Forwarding
@@ -130,6 +139,9 @@ func runBenchCore(parallel, domains int, path string) {
 	}
 	if !ft.Identical {
 		fatalf("partitioned fat-tree run differs from single-engine — determinism regression")
+	}
+	if !tmr.Identical {
+		fatalf("wheel timer run differs from heap run — determinism regression")
 	}
 }
 

@@ -14,7 +14,7 @@
 //	aqsim -experiment all -json out.json      # machine-readable results
 //	aqsim -experiment fig6 -seeds 1,2,3       # multi-seed sweep
 //	aqsim -experiment table2 -domains 4       # partitioned engines, same bytes
-//	aqsim -bench -quick                       # regenerate BENCH_harness.json
+//	aqsim -bench -quick                       # harness speedup check (untracked output)
 //	aqsim -benchcore                          # regenerate BENCH_simcore.json
 //	aqsim -benchcore -cpuprofile cpu.pprof    # profile the hot path
 package main

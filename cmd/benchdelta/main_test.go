@@ -34,6 +34,9 @@ func TestReportToleratesV1Records(t *testing.T) {
 	}
 	for _, want := range []string{
 		"sweep utilization",
+		"timers wheel ns/op",
+		"timers heap ns/op",
+		"timers identical",
 		"fat-tree single-engine ns/op",
 		"fat-tree partitioned ns/op",
 		"fat-tree identical",

@@ -52,28 +52,27 @@ func RunSingleBottleneck(horizon sim.Time) uint64 {
 }
 
 // RunEngineChurn drives an engine-only workload: width self-perpetuating
-// timers, each firing rescheduling itself, until the requested number of
-// events has fired. It isolates the event core (heap, free list, detached
-// dispatch) from the network model.
+// timers, each firing re-arming itself, until the requested number of
+// events has fired. It isolates the event core from the network model, and
+// rides the Timer API so it measures whichever scheduling lane timer-class
+// events actually use — the hierarchical wheel by default, the heap when
+// the wheel is disabled.
 func RunEngineChurn(events int, width int) {
 	if width > events {
 		width = events
 	}
 	eng := sim.NewEngine()
 	fired := 0
-	var tick func(i int) func()
-	tick = func(i int) func() {
-		var fn func()
-		fn = func() {
+	for i := 0; i < width; i++ {
+		interval := sim.Time(i + 1)
+		var t *sim.Timer
+		t = eng.NewTimer(func() {
 			fired++
 			if fired+width <= events {
-				eng.After(sim.Time(i+1), fn)
+				t.RearmAfter(interval)
 			}
-		}
-		return fn
-	}
-	for i := 0; i < width; i++ {
-		eng.After(sim.Time(i+1), tick(i))
+		})
+		t.ArmAfter(interval)
 	}
 	eng.Run()
 }
@@ -140,6 +139,71 @@ func MeasureForwarding(runs int, horizon sim.Time) ForwardingResult {
 		NsPerPacket:   nsPerOp / float64(pkts),
 		PacketsPerSec: float64(pkts) * float64(runs) / wall.Seconds(),
 	}
+}
+
+// RunTimerHeavy drives the timer-dominated workload: `flows` CUBIC senders
+// crowd a 10 Gbps dumbbell built for a handful, so congestion windows
+// collapse to fractional values and every flow lives in pacing/RTO churn —
+// the RTO deadline slides on every ACK, pacing timers re-arm between
+// segments, and losses fire real retransmission timeouts. It returns the
+// packets put on the bottleneck wire, the quantity the wheel-vs-heap
+// determinism check compares.
+func RunTimerHeavy(flows int, horizon sim.Time) uint64 {
+	eng := sim.NewEngine()
+	spec := topo.DefaultSim()
+	d := topo.NewDumbbell(eng, 4, 4, spec, spec)
+	var senders []*transport.Sender
+	for i := 0; i < flows; i++ {
+		s := transport.NewSender(d.Left[i%4], d.Right[(i+3)%4], 0, cc.NewCubic(),
+			transport.Options{})
+		s.Start(sim.Time(i) * sim.Microsecond)
+		senders = append(senders, s)
+	}
+	eng.RunUntil(horizon)
+	for _, s := range senders {
+		s.Stop()
+	}
+	return d.Bottleneck.TxPackets
+}
+
+// TimersResult is the timer-lane benchmark record: the same timer-heavy run
+// measured once on the hierarchical wheel (the default) and once forced
+// back onto the event heap. Identical reports whether both lanes delivered
+// exactly the same traffic — the determinism gate at benchmark scope.
+type TimersResult struct {
+	Flows        int     `json:"flows"`
+	HorizonNS    int64   `json:"horizon_ns"`
+	PacketsPerOp uint64  `json:"packets_per_op"`
+	WheelNS      int64   `json:"wheel_ns"`
+	HeapNS       int64   `json:"heap_ns"`
+	Speedup      float64 `json:"speedup"`
+	Identical    bool    `json:"identical"`
+}
+
+// MeasureTimers times RunTimerHeavy with the wheel on and off. The wheel is
+// restored to its default (enabled) before returning.
+func MeasureTimers(flows int, horizon sim.Time) TimersResult {
+	r := TimersResult{Flows: flows, HorizonNS: int64(horizon)}
+	defer sim.SetTimerWheel(true)
+
+	sim.SetTimerWheel(true)
+	RunTimerHeavy(flows, horizon/4) // warm-up: heat pools and the wheel
+	start := time.Now()
+	wheelPkts := RunTimerHeavy(flows, horizon)
+	r.WheelNS = time.Since(start).Nanoseconds()
+	r.PacketsPerOp = wheelPkts
+
+	sim.SetTimerWheel(false)
+	RunTimerHeavy(flows, horizon/4)
+	start = time.Now()
+	heapPkts := RunTimerHeavy(flows, horizon)
+	r.HeapNS = time.Since(start).Nanoseconds()
+
+	r.Identical = wheelPkts == heapPkts
+	if r.WheelNS > 0 {
+		r.Speedup = float64(r.HeapNS) / float64(r.WheelNS)
+	}
+	return r
 }
 
 // FatTreeResult is the partitioned large-fabric benchmark record: one op is

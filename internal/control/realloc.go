@@ -29,6 +29,7 @@ type Reallocator struct {
 
 	// Rounds counts completed adjustment rounds (for tests).
 	Rounds int
+	tickT  *sim.Timer
 	stop   bool
 }
 
@@ -45,7 +46,9 @@ func NewReallocator(eng *sim.Engine, ctrl *Controller, interval sim.Time) *Reall
 	if interval <= 0 {
 		interval = 5 * sim.Millisecond
 	}
-	return &Reallocator{eng: eng, ctrl: ctrl, interval: interval}
+	r := &Reallocator{eng: eng, ctrl: ctrl, interval: interval}
+	r.tickT = eng.NewTimer(r.tick)
+	return r
 }
 
 // Manage adds a granted AQ (deployed in tbl) to the reallocation set with
@@ -62,7 +65,7 @@ func (r *Reallocator) Manage(id packet.AQID, tbl *core.Table, weight float64) {
 }
 
 // Start begins the periodic adjustment; Stop halts it.
-func (r *Reallocator) Start() { r.eng.After(r.interval, r.tick) }
+func (r *Reallocator) Start() { r.tickT.ArmAfter(r.interval) }
 
 // Stop halts the loop after the current interval.
 func (r *Reallocator) Stop() { r.stop = true }
@@ -105,7 +108,7 @@ func (r *Reallocator) tick() {
 		}
 		e.aq.SetRate(rate)
 	}
-	r.eng.After(r.interval, r.tick)
+	r.tickT.RearmAfter(r.interval)
 }
 
 func (r *Reallocator) weights(total float64) []float64 {

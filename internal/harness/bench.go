@@ -21,9 +21,10 @@ type BenchRun struct {
 	Error  string `json:"error,omitempty"`
 }
 
-// Bench records a sequential-vs-parallel execution of one batch: the perf
-// trajectory artifact (BENCH_harness.json) tracks SequentialNS,
-// ParallelNS, and Speedup across PRs.
+// Bench records a sequential-vs-parallel execution of one batch: the
+// sweep section of BENCH_simcore.json tracks SequentialNS, ParallelNS,
+// and Speedup across PRs (aqsim -bench writes the same record to a local,
+// untracked file).
 type Bench struct {
 	Schema     string `json:"schema"`
 	GOMAXPROCS int    `json:"gomaxprocs"`

@@ -40,6 +40,7 @@ type DRL struct {
 	// Ticks counts adjustment rounds (for tests).
 	Ticks int
 
+	tickT   *sim.Timer
 	started bool
 }
 
@@ -94,7 +95,8 @@ func (d *DRL) Start() {
 		return
 	}
 	d.started = true
-	d.eng.After(d.interval, d.tick)
+	d.tickT = d.eng.NewTimer(d.tick)
+	d.tickT.ArmAfter(d.interval)
 }
 
 // PairRate reports the current allocation of a pair (0 if inactive).
@@ -193,7 +195,7 @@ func (d *DRL) tick() {
 		demands = append(demands, pairDemand{k, est})
 	}
 	if len(demands) == 0 {
-		d.eng.After(d.interval, d.tick)
+		d.tickT.RearmAfter(d.interval)
 		return
 	}
 	sort.Slice(demands, func(i, j int) bool { // deterministic iteration
@@ -254,7 +256,7 @@ func (d *DRL) tick() {
 		p.rate = rate
 		p.tb.SetRate(rate)
 	}
-	d.eng.After(d.interval, d.tick)
+	d.tickT.RearmAfter(d.interval)
 }
 
 // pairDemand is one pair's estimated demand in bits per second.

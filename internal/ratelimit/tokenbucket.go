@@ -25,7 +25,7 @@ type TokenBucket struct {
 	last   sim.Time
 	q      *queue.FIFO
 	out    func(*packet.Packet)
-	ev     *sim.Event
+	drainT *sim.Timer
 
 	// Submitted and Dropped count shaper arrivals and queue-limit drops.
 	Submitted uint64
@@ -41,7 +41,7 @@ func NewTokenBucket(eng *sim.Engine, rate units.BitRate, burst int, out func(*pa
 	if burst <= 0 {
 		burst = 3 * packet.MaxDataBytes
 	}
-	return &TokenBucket{
+	tb := &TokenBucket{
 		eng:    eng,
 		pool:   packet.PoolFor(eng),
 		rate:   rate.BytesPerNano(),
@@ -50,6 +50,8 @@ func NewTokenBucket(eng *sim.Engine, rate units.BitRate, burst int, out func(*pa
 		q:      queue.New(defaultShaperQueue, 0),
 		out:    out,
 	}
+	tb.drainT = eng.NewTimer(tb.drain)
+	return tb
 }
 
 // Rate returns the configured rate.
@@ -62,7 +64,7 @@ func (tb *TokenBucket) Rate() units.BitRate {
 func (tb *TokenBucket) SetRate(r units.BitRate) {
 	tb.refill()
 	tb.rate = r.BytesPerNano()
-	tb.ev.Cancel()
+	tb.drainT.Disarm()
 	tb.schedule()
 }
 
@@ -119,7 +121,7 @@ func (tb *TokenBucket) schedule() {
 	if head == nil {
 		return
 	}
-	if tb.ev != nil && !tb.ev.Cancelled() && tb.ev.Time() > tb.eng.Now() {
+	if tb.drainT.Pending() && tb.drainT.Time() > tb.eng.Now() {
 		return // a timer is already pending; drain will reschedule
 	}
 	need := float64(head.Size) - tb.tokens
@@ -130,7 +132,7 @@ func (tb *TokenBucket) schedule() {
 			wait = 1
 		}
 	}
-	tb.ev = tb.eng.After(wait, tb.drain)
+	tb.drainT.RearmAfter(wait)
 }
 
 // AttachPRL installs a static outbound shaper on the host (the HTB-style

@@ -18,7 +18,11 @@
 //     life of the flow;
 //   - fire-and-forget callbacks (AtDetached/AfterDetached) live inline in
 //     the heap slots — no Event object exists for them — making
-//     steady-state packet forwarding allocation-free.
+//     steady-state packet forwarding allocation-free;
+//   - timer-class events (RTO, pacing, periodic ticks) ride a second lane,
+//     the hierarchical timing wheel of wheel.go, with O(1) arm/disarm/
+//     re-arm and no tombstones; the dispatch loop merges the two lanes by
+//     (time, ordering word), so lane choice never changes event order.
 package sim
 
 import "fmt"
@@ -126,7 +130,11 @@ func (e *Engine) setIndex(i int) {
 	}
 }
 
-// Engine owns the simulated clock and the pending-event heap.
+// Engine owns the simulated clock and the two scheduling lanes: the
+// pending-event heap for packet and delivery events, and the hierarchical
+// timing wheel (see wheel.go) for cancellable, re-armable timers. The
+// dispatch loop merges the lanes by (time, ordering word), so which lane
+// an event rode is invisible to the model.
 type Engine struct {
 	now  Time
 	seq  uint64
@@ -134,6 +142,12 @@ type Engine struct {
 	vals []heapVal // payloads, parallel to keys
 	dead int       // cancelled events still in the heap
 	seqs seqTable
+
+	// wheel is the timer lane; nil when the engine was built with
+	// SetTimerWheel(false), in which case Timer handles fall back to heap
+	// events.
+	wheel *timerWheel
+
 	// Processed counts events that have fired (not cancelled ones); it is
 	// exposed for benchmarks and sanity checks.
 	Processed uint64
@@ -151,8 +165,14 @@ type Engine struct {
 func (e *Engine) PacketPoolSlot() *any { return &e.packetPool }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
+// The timer-wheel lane is materialized here when enabled (the default), so
+// one engine's lane choice is fixed for its lifetime.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	if timerWheelEnabled.Load() {
+		e.wheel = newTimerWheel()
+	}
+	return e
 }
 
 // Now returns the current simulated time.
@@ -298,29 +318,60 @@ func (e *Engine) checkTime(t Time) {
 	}
 }
 
-// Pending reports the number of live (non-cancelled) events in the heap.
-func (e *Engine) Pending() int { return len(e.keys) - e.dead }
+// Pending reports the number of live (non-cancelled) events across both
+// lanes: heap events minus tombstones, plus armed wheel timers (the wheel
+// has no tombstones to exclude).
+func (e *Engine) Pending() int {
+	n := len(e.keys) - e.dead
+	if e.wheel != nil {
+		n += e.wheel.live
+	}
+	return n
+}
 
-// Step fires the earliest pending event and returns true, or returns false
-// if the heap is empty. Cancelled events are discarded without firing.
-func (e *Engine) Step() bool {
+// peekHeap discards tombstones from the heap root and reports the key of
+// the earliest live heap event, or ok=false when the heap has none.
+func (e *Engine) peekHeap() (heapKey, bool) {
 	for len(e.keys) > 0 {
-		at := e.keys[0].at
-		v := e.vals[0]
-		e.pop()
-		if v.ev != nil && v.ev.cancelled {
+		if v := e.vals[0]; v.ev != nil && v.ev.cancelled {
+			e.pop()
 			e.dead--
 			continue
 		}
-		e.now = at
-		e.fire(v)
-		e.Processed++
-		return true
+		return e.keys[0], true
 	}
-	return false
+	return heapKey{}, false
 }
 
-// Run fires events until the heap is empty.
+// Step fires the earliest pending event — merging the heap and wheel lanes
+// by (time, ordering word) — and returns true, or returns false when both
+// lanes are empty. Cancelled heap events are discarded without firing.
+// Keys never compare equal across lanes: both draw from the one scheduling
+// sequence, so the merge is a strict total order.
+func (e *Engine) Step() bool {
+	hk, hasHeap := e.peekHeap()
+	if e.wheel != nil && e.wheel.live > 0 {
+		wk, wt := e.wheel.peek(e.now)
+		if !hasHeap || less(wk, hk) {
+			e.wheel.remove(wt)
+			e.now = wk.at
+			wt.fn()
+			e.Processed++
+			return true
+		}
+	}
+	if !hasHeap {
+		return false
+	}
+	v := e.vals[0]
+	e.pop()
+	e.now = hk.at
+	e.fire(v)
+	e.Processed++
+	return true
+}
+
+// Run fires events until both lanes are empty.
 func (e *Engine) Run() {
 	for e.Step() {
 	}
@@ -336,20 +387,30 @@ func (e *Engine) RunUntil(deadline Time) {
 // runTo is RunUntil without the pool spill: the cluster's windowed loop
 // calls it once per lookahead window, where draining the free list every
 // window would throw the pooled packets away thousands of times per run.
+// Wheel timers respect the deadline exactly like heap events, so a
+// windowed cluster run can never skip a timer past a window boundary.
 func (e *Engine) runTo(deadline Time) {
-	for len(e.keys) > 0 {
-		at := e.keys[0].at
-		v := e.vals[0]
-		if v.ev != nil && v.ev.cancelled {
-			e.pop()
-			e.dead--
-			continue
+	for {
+		hk, hasHeap := e.peekHeap()
+		if e.wheel != nil && e.wheel.live > 0 {
+			wk, wt := e.wheel.peek(e.now)
+			if !hasHeap || less(wk, hk) {
+				if wk.at > deadline {
+					break
+				}
+				e.wheel.remove(wt)
+				e.now = wk.at
+				wt.fn()
+				e.Processed++
+				continue
+			}
 		}
-		if at > deadline {
+		if !hasHeap || hk.at > deadline {
 			break
 		}
+		v := e.vals[0]
 		e.pop()
-		e.now = at
+		e.now = hk.at
 		e.fire(v)
 		e.Processed++
 	}

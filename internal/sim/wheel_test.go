@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// withWheel runs f with the wheel gate set and restores the previous value.
+func withWheel(on bool, f func()) {
+	prev := SetTimerWheel(on)
+	defer SetTimerWheel(prev)
+	f()
+}
+
+func TestTimerFiresAtArmedInstant(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	tm := e.NewTimer(func() { fired = append(fired, e.Now()) })
+	tm.Arm(100)
+	e.Run()
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("fired = %v, want [100]", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("timer still pending after firing")
+	}
+	// Re-arm after firing: the same handle goes around again.
+	tm.RearmAfter(50)
+	e.Run()
+	if len(fired) != 2 || fired[1] != 150 {
+		t.Fatalf("fired = %v, want [100 150]", fired)
+	}
+}
+
+func TestTimerSameInstantOrdersWithHeapEvents(t *testing.T) {
+	// A timer armed between two heap schedules for the same instant fires
+	// between them: the merge runs on the shared ordering sequence, so lane
+	// choice is invisible. This is the ordering the wheel-off fallback (and
+	// the pre-wheel engine) produces.
+	for _, wheel := range []bool{true, false} {
+		withWheel(wheel, func() {
+			e := NewEngine()
+			var order []string
+			e.At(20, func() { order = append(order, "a") })
+			tm := e.NewTimer(func() { order = append(order, "timer") })
+			tm.Arm(20)
+			e.At(20, func() { order = append(order, "b") })
+			e.Run()
+			want := []string{"a", "timer", "b"}
+			for i := range want {
+				if i >= len(order) || order[i] != want[i] {
+					t.Fatalf("wheel=%v: order = %v, want %v", wheel, order, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTimerRearmDrawsFreshOrderingWord(t *testing.T) {
+	// Re-arming must order the timer among same-instant events as a fresh
+	// schedule would — the Timer analogue of Reschedule's fresh-seq rule.
+	e := NewEngine()
+	var order []string
+	tm := e.NewTimer(func() { order = append(order, "timer") })
+	tm.Arm(10)
+	e.At(20, func() { order = append(order, "a") })
+	tm.Rearm(20) // after "a": must fire after it
+	e.At(20, func() { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "timer", "b"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTimerPullInAcrossSlotBoundary(t *testing.T) {
+	// A timer parked in a coarse wheel level is pulled in to a near
+	// deadline in a finer level — the RTO pull-in move when the estimate
+	// shrinks. The old slot entry must vanish (no double fire), and the
+	// timer must fire at the new instant.
+	e := NewEngine()
+	fired := 0
+	var at Time
+	tm := e.NewTimer(func() { fired++; at = e.Now() })
+	tm.Arm(500_000) // level >= 2 at cur=0
+	tm.Rearm(37)    // level 0, different level and slot
+	e.Run()
+	if fired != 1 || at != 37 {
+		t.Fatalf("fired %d times at %v, want once at 37", fired, at)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after pull-in fire, want 0", e.Pending())
+	}
+}
+
+func TestTimerPushOutAcrossSlotBoundary(t *testing.T) {
+	// The opposite move: a near timer pushed far out (level 0 -> coarse
+	// level). Heap events in between must fire first and exactly once.
+	e := NewEngine()
+	var order []Time
+	tm := e.NewTimer(func() { order = append(order, e.Now()) })
+	tm.Arm(10)
+	tm.Rearm(1_000_000)
+	e.At(5000, func() { order = append(order, e.Now()) })
+	e.Run()
+	if len(order) != 2 || order[0] != 5000 || order[1] != 1_000_000 {
+		t.Fatalf("order = %v, want [5000 1000000]", order)
+	}
+}
+
+func TestTimerDisarmThenRearmSameTick(t *testing.T) {
+	// Disarm immediately followed by re-arm at the very same tick: the
+	// cleared slot entry must not resurrect, and the re-armed instance
+	// fires once with a fresh ordering word.
+	e := NewEngine()
+	fired := 0
+	tm := e.NewTimer(func() { fired++ })
+	tm.Arm(40)
+	tm.Disarm()
+	if tm.Pending() {
+		t.Fatal("timer pending after disarm")
+	}
+	tm.Rearm(40)
+	if !tm.Pending() || tm.Time() != 40 {
+		t.Fatalf("pending=%v time=%v after rearm, want true/40", tm.Pending(), tm.Time())
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	// And at the current instant: disarm/rearm at Now() while events at the
+	// same instant are still being dispatched.
+	e2 := NewEngine()
+	fired = 0
+	var tm2 *Timer
+	tm2 = e2.NewTimer(func() { fired++ })
+	e2.At(10, func() {
+		tm2.Arm(10) // arm at the instant being dispatched
+		tm2.Disarm()
+		tm2.Rearm(10)
+	})
+	e2.Run()
+	if fired != 1 {
+		t.Fatalf("same-tick disarm/rearm at Now(): fired %d times, want 1", fired)
+	}
+}
+
+func TestTimerDisarmLeavesNoTombstone(t *testing.T) {
+	// The heap lane counts a cancelled event as a tombstone until it is
+	// compacted or popped; the wheel lane must not — a disarmed timer
+	// leaves Pending exact and the engine with literally nothing to do.
+	e := NewEngine()
+	timers := make([]*Timer, 1000)
+	for i := range timers {
+		timers[i] = e.NewTimer(func() {})
+		timers[i].Arm(Time(10 + i))
+	}
+	if e.Pending() != 1000 {
+		t.Fatalf("Pending() = %d, want 1000", e.Pending())
+	}
+	for _, tm := range timers {
+		tm.Disarm()
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after disarm, want 0", e.Pending())
+	}
+	if e.Step() {
+		t.Fatal("Step fired something after all timers were disarmed")
+	}
+	// Double disarm is a no-op, as for Event.Cancel.
+	timers[0].Disarm()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after double disarm, want 0", e.Pending())
+	}
+}
+
+func TestPendingCountsLiveWheelTimers(t *testing.T) {
+	// Pending must see both lanes: heap events minus tombstones plus armed
+	// timers, through arm/disarm/fire churn.
+	e := NewEngine()
+	tm := e.NewTimer(func() {})
+	tm.Arm(100)
+	ev := e.At(50, func() {})
+	e.At(60, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", e.Pending())
+	}
+	ev.Cancel()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d after heap cancel, want 2", e.Pending())
+	}
+	if !e.Step() { // fires the heap event at 60
+		t.Fatal("no event to fire")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after heap fire, want 1 (the timer)", e.Pending())
+	}
+	tm.Rearm(70)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after rearm, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", e.Pending())
+	}
+}
+
+func TestTimerRearmOnClusterWindowBoundary(t *testing.T) {
+	// A timer re-armed for exactly a cluster window boundary T must fire
+	// inside the window that ends at T — never be skipped past it by the
+	// windowed runTo. The cluster below has a 1 us lookahead, so windows
+	// end at 1000, 2000, ...; the timer lands exactly on 2000.
+	c := NewCluster(2)
+	c.ObserveLinkDelay(Microsecond)
+	// A boundary mailbox forces the windowed loop (no-outbox clusters run
+	// a single window straight to the deadline).
+	c.Outbox(c.Engine(1), c.NextLane(), func(any) {})
+	e := c.Engine(0)
+	var firedAt Time
+	var clusterNowAtFire Time
+	tm := e.NewTimer(func() {
+		firedAt = e.Now()
+		clusterNowAtFire = c.Now()
+	})
+	tm.Arm(500)
+	e.At(500, func() { tm.Rearm(2 * Microsecond) }) // re-arm onto the boundary
+	c.RunUntil(5 * Microsecond)
+	if firedAt != 2*Microsecond {
+		t.Fatalf("timer fired at %v, want exactly the 2us window boundary", firedAt)
+	}
+	// It fired during the window that ends at 2us: the cluster clock had
+	// not advanced past the boundary yet.
+	if clusterNowAtFire > 2*Microsecond {
+		t.Fatalf("timer fired after the cluster advanced to %v — skipped past its window", clusterNowAtFire)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after run, want 0", e.Pending())
+	}
+}
+
+func TestTimerLongHorizonCascades(t *testing.T) {
+	// Timers across every wheel level — including one beyond the top
+	// level's span (the overflow list) — fire in time order with nothing
+	// lost as the clock cascades through window boundaries.
+	e := NewEngine()
+	deadlines := []Time{
+		3,                 // level 0
+		1000,              // level 1
+		300_000,           // level 2
+		20_000_000,        // level 3
+		900_000_000,       // level 4
+		60_000_000_000,    // level 5
+		3_000_000_000_000, // level 6
+		Time(1) << 45,     // beyond the wheel span: overflow list
+	}
+	var fired []Time
+	for _, d := range deadlines {
+		tm := e.NewTimer(func() { fired = append(fired, e.Now()) })
+		tm.Arm(d)
+	}
+	e.Run()
+	if len(fired) != len(deadlines) {
+		t.Fatalf("fired %d timers, want %d", len(fired), len(deadlines))
+	}
+	for i, d := range deadlines {
+		if fired[i] != d {
+			t.Fatalf("fired[%d] = %v, want %v", i, fired[i], d)
+		}
+	}
+}
+
+func TestTimerRearmAllocationFree(t *testing.T) {
+	// The whole point of the handle API: a re-arm in steady state touches
+	// no allocator. (Slot slices are warmed by the first lap.)
+	e := NewEngine()
+	tm := e.NewTimer(func() {})
+	tm.ArmAfter(100)
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.RearmAfter(100)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("rearm+fire allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestWheelMatchesHeapReference drives an adversarial mix of timers and
+// heap events through both lanes and through the heap-only fallback,
+// requiring identical firing sequences. This is the lane-equivalence
+// property the sweep fingerprint gates check at simulator scope.
+func TestWheelMatchesHeapReference(t *testing.T) {
+	run := func(wheel bool, seed int64) []Time {
+		var trace []Time
+		withWheel(wheel, func() {
+			rng := rand.New(rand.NewSource(seed))
+			e := NewEngine()
+			const n = 40
+			timers := make([]*Timer, n)
+			record := func() { trace = append(trace, e.Now()) }
+			for i := range timers {
+				timers[i] = e.NewTimer(record)
+			}
+			var step func()
+			steps := 0
+			step = func() {
+				trace = append(trace, -e.Now()) // mark driver ticks distinctly
+				if steps++; steps > 400 {
+					return
+				}
+				// The churn is deterministic per seed: arm, rearm, disarm a
+				// few timers, sprinkle heap events, and keep the clock moving.
+				for k := 0; k < 4; k++ {
+					tm := timers[rng.Intn(n)]
+					switch rng.Intn(3) {
+					case 0:
+						tm.ArmAfter(Time(rng.Intn(200_000)))
+					case 1:
+						tm.Disarm()
+					case 2:
+						tm.RearmAfter(Time(rng.Intn(5_000_000)))
+					}
+				}
+				if rng.Intn(3) == 0 {
+					e.After(Time(rng.Intn(1000)), record)
+				}
+				e.After(Time(1+rng.Intn(30_000)), step)
+			}
+			e.After(0, step)
+			e.RunUntil(5 * Millisecond)
+		})
+		return trace
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		on := run(true, seed)
+		off := run(false, seed)
+		if len(on) != len(off) {
+			t.Fatalf("seed %d: wheel trace has %d entries, heap trace %d", seed, len(on), len(off))
+		}
+		for i := range on {
+			if on[i] != off[i] {
+				t.Fatalf("seed %d: traces diverge at %d: wheel %v vs heap %v", seed, i, on[i], off[i])
+			}
+		}
+	}
+}
+
+// TestWheelOrderingProperty is the quick.Check analogue of
+// TestHeapOrderingProperty for the merged two-lane dispatch: arbitrary
+// deadlines and disarm masks must still fire in nondecreasing time order
+// with an exact Pending count.
+func TestWheelOrderingProperty(t *testing.T) {
+	f := func(delays []uint32, disarmMask []bool) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		timers := make([]*Timer, 0, len(delays))
+		for _, d := range delays {
+			tm := e.NewTimer(func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+			tm.Arm(Time(d))
+			timers = append(timers, tm)
+		}
+		live := len(timers)
+		for i, tm := range timers {
+			if i < len(disarmMask) && disarmMask[i] {
+				tm.Disarm()
+				live--
+			}
+		}
+		if e.Pending() != live {
+			return false
+		}
+		for i, tm := range timers {
+			if i%5 == 2 && tm.Pending() {
+				tm.Rearm(tm.Time() + Time(i%9))
+			}
+		}
+		e.Run()
+		return ok && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

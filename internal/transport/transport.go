@@ -96,7 +96,7 @@ type Sender struct {
 
 	srtt, rttvar, minRTT sim.Time
 	rto                  sim.Time
-	rtoEv                *sim.Event
+	rtoT                 *sim.Timer
 	rtoPending           bool
 	rtoDeadline          sim.Time // the time the RTO actually expires
 	backoff              uint
@@ -108,16 +108,16 @@ type Sender struct {
 	// pacing — without it, window growth injects line-rate bursts that no
 	// real NIC stack produces.
 	nextPaced sim.Time
-	pacedEv   *sim.Event
+	pacedT    *sim.Timer
 
 	done bool
 	// OnComplete, when set, fires once when the last byte is acked.
 	OnComplete func(now sim.Time)
 
-	// trySendFn and onTimeoutFn are the method values the timers fire;
-	// cached once so re-arming a timer allocates no closure.
-	trySendFn   func()
-	onTimeoutFn func()
+	// trySendFn is the method value the start timer fires; cached once so
+	// arming allocates no closure. The RTO and pacing timers carry their
+	// callbacks in the Timer handle itself.
+	trySendFn func()
 
 	// Counters for tests and reports.
 	SentPackets  uint64
@@ -126,7 +126,7 @@ type Sender struct {
 	FastRecovers uint64
 
 	receiver *Receiver
-	startEv  *sim.Event
+	startT   *sim.Timer
 }
 
 // NewSender wires a flow from src to dst carrying size bytes (0 = long
@@ -152,7 +152,12 @@ func NewSender(src, dst *topo.Host, size int64, alg cc.Algorithm, opt Options) *
 		state: make(map[int64]uint8),
 	}
 	s.trySendFn = s.trySend
-	s.onTimeoutFn = s.onTimeout
+	// All three flow timers live on the engine's wheel lane: re-arming on
+	// every ACK or pacing gate is O(1) and a cancelled timer leaves no
+	// tombstone behind for the event heap to churn through.
+	s.rtoT = s.eng.NewTimer(s.onTimeout)
+	s.pacedT = s.eng.NewTimer(s.trySendFn)
+	s.startT = s.eng.NewTimer(s.trySendFn)
 	s.receiver = newReceiver(s)
 	src.Register(s.flow, s)
 	dst.Register(s.flow, s.receiver)
@@ -179,16 +184,16 @@ func (s *Sender) SRTT() sim.Time { return s.srtt }
 
 // Start schedules the first transmission after the given delay.
 func (s *Sender) Start(after sim.Time) {
-	s.startEv = s.eng.After(after, s.trySendFn)
+	s.startT.ArmAfter(after)
 }
 
-// Stop halts a long-lived flow: timers are cancelled and the handlers
+// Stop halts a long-lived flow: timers are disarmed and the handlers
 // unregistered.
 func (s *Sender) Stop() {
 	s.done = true
-	s.rtoEv.Cancel()
-	s.pacedEv.Cancel()
-	s.startEv.Cancel()
+	s.rtoT.Disarm()
+	s.pacedT.Disarm()
+	s.startT.Disarm()
 	s.src.Unregister(s.flow)
 	s.dst.Unregister(s.flow)
 }
@@ -226,10 +231,10 @@ func (s *Sender) trySend() {
 		for float64(s.pipe) < w {
 			if now < s.nextPaced {
 				// nextPaced only moves forward, so an already-armed pacing
-				// event can only be early: let it fire and re-check rather
-				// than paying a heap reschedule on every gated attempt.
-				if !s.pacedEv.Pending() {
-					s.pacedEv = s.eng.Reschedule(s.pacedEv, s.nextPaced, s.trySendFn)
+				// timer can only be early: let it fire and re-check rather
+				// than paying a re-arm on every gated attempt.
+				if !s.pacedT.Pending() {
+					s.pacedT.Rearm(s.nextPaced)
 				}
 				return
 			}
@@ -257,8 +262,8 @@ func (s *Sender) trySend() {
 	}
 	now := s.eng.Now()
 	if now < s.nextPaced {
-		if !s.pacedEv.Pending() {
-			s.pacedEv = s.eng.Reschedule(s.pacedEv, s.nextPaced, s.trySendFn)
+		if !s.pacedT.Pending() {
+			s.pacedT.Rearm(s.nextPaced)
 		}
 		return
 	}
@@ -389,31 +394,31 @@ func (s *Sender) advanceLossScan() {
 }
 
 // armRTO (re)schedules the retransmission timer. The deadline is lazy:
-// while an engine event is already pending it is left where it is (it can
-// only be early, since the deadline slides forward under steady ACKs) and
-// only the deadline field moves — onTimeout re-arms a too-early wakeup
-// instead of acting. A flow under ACK clocking thus restarts its RTO with
-// one field write per ACK instead of a heap reschedule per ACK.
+// while a timer is already armed it is left where it is (it can only be
+// early, since the deadline slides forward under steady ACKs) and only the
+// deadline field moves — onTimeout re-arms a too-early wakeup instead of
+// acting. A flow under ACK clocking thus restarts its RTO with one field
+// write per ACK instead of a timer re-arm per ACK.
 func (s *Sender) armRTO() {
 	timeout := s.rto << s.backoff
 	if timeout > rtoMax {
 		timeout = rtoMax
 	}
 	s.rtoDeadline = s.eng.Now() + timeout
-	// An armed event that fires at or before the deadline wakes early and
+	// An armed timer that fires at or before the deadline wakes early and
 	// re-arms itself (onTimeout), so it can be left alone. One that fires
 	// after the deadline cannot — the RTO estimate shrinks when the first
 	// RTT sample replaces the conservative initial value — so pull it in.
-	if s.rtoPending && s.rtoEv.Pending() && s.rtoEv.Time() <= s.rtoDeadline {
+	if s.rtoPending && s.rtoT.Pending() && s.rtoT.Time() <= s.rtoDeadline {
 		return
 	}
 	s.rtoPending = true
-	s.rtoEv = s.eng.Reschedule(s.rtoEv, s.rtoDeadline, s.onTimeoutFn)
+	s.rtoT.Rearm(s.rtoDeadline)
 }
 
 // cancelRTO stops the pending timer.
 func (s *Sender) cancelRTO() {
-	s.rtoEv.Cancel()
+	s.rtoT.Disarm()
 	s.rtoPending = false
 }
 
@@ -423,7 +428,7 @@ func (s *Sender) cancelRTO() {
 // advanced deadline is not a timeout — it re-arms and goes back to sleep.
 func (s *Sender) onTimeout() {
 	if !s.done && s.eng.Now() < s.rtoDeadline {
-		s.rtoEv = s.eng.Reschedule(s.rtoEv, s.rtoDeadline, s.onTimeoutFn)
+		s.rtoT.Rearm(s.rtoDeadline)
 		return
 	}
 	s.rtoPending = false
@@ -578,8 +583,8 @@ func (s *Sender) delaySignal(_ sim.Time, p *packet.Packet) sim.Time {
 
 func (s *Sender) complete(now sim.Time) {
 	s.done = true
-	s.rtoEv.Cancel()
-	s.pacedEv.Cancel()
+	s.rtoT.Disarm()
+	s.pacedT.Disarm()
 	s.src.Unregister(s.flow)
 	s.dst.Unregister(s.flow)
 	if s.OnComplete != nil {

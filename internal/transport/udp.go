@@ -22,8 +22,7 @@ type UDPSender struct {
 	opt  Options
 
 	interval sim.Time
-	ev       *sim.Event
-	tickFn   func()
+	tickT    *sim.Timer
 	running  bool
 	seq      int64
 
@@ -68,7 +67,7 @@ func NewUDPSender(src, dst *topo.Host, rate units.BitRate, opt Options) *UDPSend
 	if u.interval <= 0 {
 		u.interval = 1
 	}
-	u.tickFn = u.tick
+	u.tickT = u.eng.NewTimer(u.tick)
 	dst.Register(u.flow, u.sink)
 	return u
 }
@@ -82,13 +81,13 @@ func (u *UDPSender) Sink() *UDPSink { return u.sink }
 // Start begins transmission after the given delay.
 func (u *UDPSender) Start(after sim.Time) {
 	u.running = true
-	u.ev = u.eng.RescheduleAfter(u.ev, after, u.tickFn)
+	u.tickT.ArmAfter(after)
 }
 
 // Stop halts transmission.
 func (u *UDPSender) Stop() {
 	u.running = false
-	u.ev.Cancel()
+	u.tickT.Disarm()
 }
 
 func (u *UDPSender) tick() {
@@ -102,6 +101,6 @@ func (u *UDPSender) tick() {
 	u.seq += int64(u.mss)
 	u.SentPackets++
 	u.src.Send(p)
-	// Reschedule reuses the one tick event for the life of the sender.
-	u.ev = u.eng.RescheduleAfter(u.ev, u.interval, u.tickFn)
+	// One persistent timer carries every tick for the life of the sender.
+	u.tickT.RearmAfter(u.interval)
 }

@@ -51,8 +51,8 @@ func (in *Incast) Start() {
 		src := src
 		eng := src.Engine()
 		round := 0
-		var fire func()
-		fire = func() {
+		var roundT *sim.Timer
+		roundT = eng.NewTimer(func() {
 			if in.Rounds > 0 && round >= in.Rounds {
 				return
 			}
@@ -63,8 +63,8 @@ func (in *Incast) Start() {
 			tr.FlowStarted(in.ResponseBytes)
 			s.OnComplete = func(now sim.Time) { tr.FlowDone(start, now) }
 			s.Start(0)
-			eng.After(in.Period, fire)
-		}
-		eng.After(0, fire)
+			roundT.RearmAfter(in.Period)
+		})
+		roundT.ArmAfter(0)
 	}
 }

@@ -1,0 +1,51 @@
+// Timing-wheel equivalence tests at simulator scope: routing timer-class
+// events (RTO, pacing, UDP ticks, rate-limiter drains, controller ticks)
+// through the hierarchical wheel instead of the event heap is a scheduling
+// lane change only — a run with the wheel enabled must fingerprint
+// byte-identically to the same run forced back onto the heap, across every
+// registered quick-sweep scenario and any domain partitioning.
+package aqueue_test
+
+import (
+	"testing"
+
+	"aqueue/internal/harness"
+	"aqueue/internal/sim"
+)
+
+// runWheelSweep executes the full quick sweep with the timing wheel toggled
+// as given, partitioned into the given number of domains. One worker: the
+// equivalence needs identical runs.
+func runWheelSweep(t *testing.T, wheel bool, domains int) []*harness.Result {
+	t.Helper()
+	sim.SetTimerWheel(wheel)
+	jobs := domainJobs(t, domains)
+	if len(jobs) < 14 {
+		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
+	}
+	return (&harness.Pool{Workers: 1}).Run(jobs)
+}
+
+// TestWheelRunsFingerprintMatchHeap is the timer-lane determinism gate:
+// every quick-sweep scenario must produce byte-identical results with the
+// wheel on and off, at 1, 2, and 4 domains. A divergence means a timer
+// fired in a different order relative to packet events — some ordering
+// word, sequence draw, or window boundary leaked the lane into the model.
+func TestWheelRunsFingerprintMatchHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep six times")
+	}
+	defer sim.SetTimerWheel(true)
+
+	for _, domains := range []int{1, 2, 4} {
+		on := runWheelSweep(t, true, domains)
+		off := runWheelSweep(t, false, domains)
+		for i := range on {
+			of, hf := harness.Fingerprint(on[i]), harness.Fingerprint(off[i])
+			if of != hf {
+				t.Errorf("%s (%d domains): wheel and heap fingerprints differ\nwheel: %s\nheap:  %s",
+					on[i].Name, domains, of, hf)
+			}
+		}
+	}
+}
