@@ -1,0 +1,73 @@
+// Burst-drain equivalence tests at simulator scope: draining back-to-back
+// pipe deliveries inside one engine event (see sim.Options.BurstSize and
+// topo.Pipe) elides only events that would fire next anyway, so a run with
+// bursting on must fingerprint byte-identically to the per-packet run,
+// across every registered quick-sweep scenario, any domain partitioning,
+// and under both table layouts and both timer lanes.
+package aqueue_test
+
+import (
+	"testing"
+
+	"aqueue/internal/harness"
+	"aqueue/internal/sim"
+)
+
+// runBurstSweep executes the full quick sweep with the given burst size
+// (0 = per-packet reference), partitioned into the given number of domains,
+// with any extra engine options layered on top. One worker: the equivalence
+// needs identical runs.
+func runBurstSweep(t *testing.T, burst, domains int, extra ...sim.Option) []*harness.Result {
+	t.Helper()
+	opts := append([]sim.Option{sim.WithBurstSize(burst)}, extra...)
+	jobs := domainJobs(t, domains, opts...)
+	if len(jobs) < 14 {
+		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
+	}
+	return (&harness.Pool{Workers: 1}).Run(jobs)
+}
+
+func requireSameFingerprints(t *testing.T, label string, on, off []*harness.Result) {
+	t.Helper()
+	for i := range on {
+		bf, pf := harness.Fingerprint(on[i]), harness.Fingerprint(off[i])
+		if bf != pf {
+			t.Errorf("%s (%s): burst and per-packet fingerprints differ\nburst:      %s\nper-packet: %s",
+				on[i].Name, label, bf, pf)
+		}
+	}
+}
+
+// TestBurstRunsFingerprintMatchPerPacket is the burst-mode determinism
+// gate: every quick-sweep scenario must produce byte-identical results with
+// burst draining on and off, at 1, 2, and 4 domains, and — at one domain —
+// under the map table layout with the timer wheel forced back onto the
+// heap. A divergence means an inlined delivery ran ahead of an event that
+// should have preceded it, or a burst crossed a boundary it must not.
+func TestBurstRunsFingerprintMatchPerPacket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep eight times")
+	}
+
+	for _, domains := range []int{1, 2, 4} {
+		on := runBurstSweep(t, sim.DefaultBurstSize, domains)
+		off := runBurstSweep(t, 0, domains)
+		requireSameFingerprints(t, nDomains(domains), on, off)
+	}
+
+	// The other engine configurations share one pass: the burst cursors on
+	// the map table layout, and the inline gate peeking a heap-lane timer
+	// instead of the wheel.
+	alt := []sim.Option{
+		sim.WithDenseTables(false),
+		sim.WithDenseForwarding(false),
+		sim.WithTimerWheel(false),
+	}
+	on := runBurstSweep(t, sim.DefaultBurstSize, 1, alt...)
+	off := runBurstSweep(t, 0, 1, alt...)
+	requireSameFingerprints(t, "map layout, heap timers", on, off)
+}
+
+func nDomains(n int) string {
+	return map[int]string{1: "1 domain", 2: "2 domains", 4: "4 domains"}[n]
+}

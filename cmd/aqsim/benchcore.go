@@ -20,6 +20,7 @@ const BenchCoreSchema = "aq-benchcore/v1"
 type coreMetrics struct {
 	Engine     benchcore.EngineResult     `json:"engine"`
 	Forwarding benchcore.ForwardingResult `json:"forwarding"`
+	Drain      *benchcore.DrainResult     `json:"drain,omitempty"`
 	Timers     *benchcore.TimersResult    `json:"timers,omitempty"`
 	FatTree    *benchcore.FatTreeResult   `json:"fattree,omitempty"`
 	Sweep      *harness.Bench             `json:"sweep,omitempty"`
@@ -44,7 +45,7 @@ type coreRecord struct {
 // churn, single-bottleneck forwarding, the partitioned fat-tree fabric,
 // and the full quick experiment sweep — and writes the record to path,
 // preserving any existing baseline.
-func runBenchCore(parallel, domains int, path string) {
+func runBenchCore(parallel, domains, burst int, path string) {
 	const (
 		engineEvents   = 5_000_000
 		forwardingRuns = 20
@@ -54,10 +55,19 @@ func runBenchCore(parallel, domains int, path string) {
 	eng := benchcore.MeasureEngine(engineEvents)
 	fmt.Printf("  %.1f ns/event (%.2fM events/sec)\n", eng.NsPerEvent, eng.EventsPerSec/1e6)
 
-	fmt.Printf("benchcore: single-bottleneck forwarding, %d x 10ms runs\n", forwardingRuns)
-	fwd := benchcore.MeasureForwarding(forwardingRuns, 10*sim.Millisecond)
+	fmt.Printf("benchcore: single-bottleneck forwarding, %d x 10ms runs, burst %d\n", forwardingRuns, burst)
+	fwd := benchcore.MeasureForwarding(forwardingRuns, 10*sim.Millisecond, burst)
 	fmt.Printf("  %.0f ns/op, %.0f allocs/op, %d pkts/op (%.0f ns/pkt, %.2fM pkts/sec)\n",
 		fwd.NsPerOp, fwd.AllocsPerOp, fwd.PacketsPerOp, fwd.NsPerPacket, fwd.PacketsPerSec/1e6)
+	fmt.Printf("  %.2f events/pkt burst vs %.2f per-packet (%d inlined/op, identical=%v)\n",
+		fwd.EventsPerPacket, fwd.NoBurstEventsPerPacket, fwd.InlinedPerOp, fwd.Identical)
+
+	const drainPackets = 20_000
+	fmt.Printf("benchcore: drain run, %d x %d-packet back-to-back drains, burst %d\n",
+		forwardingRuns, drainPackets, burst)
+	drn := benchcore.MeasureDrain(forwardingRuns, drainPackets, burst)
+	fmt.Printf("  %.4f events/pkt burst vs %.2f per-packet (%d inlined/op, %.0f ns/pkt, identical=%v)\n",
+		drn.EventsPerPacket, drn.NoBurstEventsPerPacket, drn.InlinedPerOp, drn.NsPerPacket, drn.Identical)
 
 	const timerFlows = 64
 	fmt.Printf("benchcore: timer-heavy churn, %d flows x 20ms, wheel vs heap\n", timerFlows)
@@ -121,7 +131,7 @@ func runBenchCore(parallel, domains int, path string) {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Baseline:   readBaseline(path),
-		Current:    coreMetrics{Engine: eng, Forwarding: fwd, Timers: &tmr, FatTree: &ft, Sweep: sweep},
+		Current:    coreMetrics{Engine: eng, Forwarding: fwd, Drain: &drn, Timers: &tmr, FatTree: &ft, Sweep: sweep},
 	}
 	if rec.Baseline != nil {
 		b, c := rec.Baseline.Forwarding, rec.Current.Forwarding
@@ -142,6 +152,12 @@ func runBenchCore(parallel, domains int, path string) {
 	}
 	if !tmr.Identical {
 		fatalf("wheel timer run differs from heap run — determinism regression")
+	}
+	if !fwd.Identical {
+		fatalf("burst forwarding run differs from per-packet run — determinism regression")
+	}
+	if !drn.Identical {
+		fatalf("burst drain run differs from per-packet run — determinism regression")
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"aqueue/internal/experiments"
 	"aqueue/internal/harness"
+	"aqueue/internal/sim"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_harness.json", "path of the benchmark record written by -bench")
 	benchCore := flag.Bool("benchcore", false, "run the simulation-core benchmarks and write -benchcoreout")
 	benchCoreOut := flag.String("benchcoreout", "BENCH_simcore.json", "path of the record written by -benchcore")
+	burst := flag.Int("burst", sim.DefaultBurstSize, "burst size for the -benchcore forwarding macro-bench (0 disables burst draining)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
@@ -84,7 +86,7 @@ func main() {
 		names = splitList(*exp)
 	}
 	if *benchCore {
-		runBenchCore(*parallel, *domains, *benchCoreOut)
+		runBenchCore(*parallel, *domains, *burst, *benchCoreOut)
 		return
 	}
 

@@ -39,9 +39,14 @@ type metrics struct {
 		NsPerEvent *float64 `json:"ns_per_event"`
 	} `json:"engine"`
 	Forwarding *struct {
-		NsPerPacket *float64 `json:"ns_per_packet"`
-		AllocsPerOp *float64 `json:"allocs_per_op"`
+		NsPerPacket     *float64 `json:"ns_per_packet"`
+		AllocsPerOp     *float64 `json:"allocs_per_op"`
+		EventsPerPacket *float64 `json:"events_per_packet"`
 	} `json:"forwarding"`
+	Drain *struct {
+		EventsPerPacket *float64 `json:"events_per_packet"`
+		Identical       *bool    `json:"identical"`
+	} `json:"drain"`
 	Timers *struct {
 		WheelNS   *float64 `json:"wheel_ns"`
 		HeapNS    *float64 `json:"heap_ns"`
@@ -98,6 +103,15 @@ func report(w io.Writer, oldPath, newPath string) error {
 	row(w, "forwarding allocs/op",
 		fieldOf(o.Forwarding, func() *float64 { return o.Forwarding.AllocsPerOp }),
 		fieldOf(n.Forwarding, func() *float64 { return n.Forwarding.AllocsPerOp }))
+	row(w, "forwarding events/packet",
+		fieldOf(o.Forwarding, func() *float64 { return o.Forwarding.EventsPerPacket }),
+		fieldOf(n.Forwarding, func() *float64 { return n.Forwarding.EventsPerPacket }))
+	row(w, "drain events/packet",
+		fieldOf(o.Drain, func() *float64 { return o.Drain.EventsPerPacket }),
+		fieldOf(n.Drain, func() *float64 { return n.Drain.EventsPerPacket }))
+	boolRow(w, "drain identical",
+		fieldOf(o.Drain, func() *bool { return o.Drain.Identical }),
+		fieldOf(n.Drain, func() *bool { return n.Drain.Identical }))
 	row(w, "engine ns/event",
 		fieldOf(o.Engine, func() *float64 { return o.Engine.NsPerEvent }),
 		fieldOf(n.Engine, func() *float64 { return n.Engine.NsPerEvent }))

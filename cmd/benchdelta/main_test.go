@@ -33,6 +33,7 @@ func TestReportToleratesV1Records(t *testing.T) {
 		}
 	}
 	for _, want := range []string{
+		"forwarding events/packet",
 		"sweep utilization",
 		"timers wheel ns/op",
 		"timers heap ns/op",

@@ -7,21 +7,22 @@ package aqueue_test
 import (
 	"testing"
 
-	"aqueue/internal/core"
 	"aqueue/internal/experiments"
 	"aqueue/internal/harness"
 	"aqueue/internal/sim"
-	"aqueue/internal/topo"
 )
 
 // sweepJobs builds one job per registered experiment at quick parameters
 // with the horizon cut further, the same trick the pool lifecycle tests
-// use: equivalence needs identical runs, not converged ones.
-func sweepJobs(t *testing.T) []harness.Job {
+// use: equivalence needs identical runs, not converged ones. The engine
+// options are carried per job (harness.Params.Sim), so two sweeps with
+// different options never race through process globals.
+func sweepJobs(t *testing.T, opts ...sim.Option) []harness.Job {
 	t.Helper()
 	base := experiments.DefaultParams(true)
 	base.Horizon = 20 * sim.Millisecond
 	base.Flows = 4
+	base.Sim = opts
 	jobs, err := harness.Jobs(harness.Names(), nil, base)
 	if err != nil {
 		t.Fatal(err)
@@ -37,21 +38,15 @@ func TestDenseRunsFingerprintMatchMap(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick sweep twice")
 	}
-	defer core.SetDenseTables(true)
-	defer topo.SetDenseForwarding(true)
 
-	jobs := sweepJobs(t)
+	jobs := sweepJobs(t, sim.WithDenseTables(true), sim.WithDenseForwarding(true))
 	if len(jobs) < 14 {
 		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
 	}
-
-	core.SetDenseTables(true)
-	topo.SetDenseForwarding(true)
 	dense := (&harness.Pool{Workers: 1}).Run(jobs)
 
-	core.SetDenseTables(false)
-	topo.SetDenseForwarding(false)
-	mapped := (&harness.Pool{Workers: 1}).Run(jobs)
+	mapped := (&harness.Pool{Workers: 1}).Run(
+		sweepJobs(t, sim.WithDenseTables(false), sim.WithDenseForwarding(false)))
 
 	for i := range dense {
 		df, mf := harness.Fingerprint(dense[i]), harness.Fingerprint(mapped[i])

@@ -9,22 +9,21 @@ package aqueue_test
 import (
 	"testing"
 
-	"aqueue/internal/core"
 	"aqueue/internal/experiments"
 	"aqueue/internal/harness"
 	"aqueue/internal/sim"
-	"aqueue/internal/topo"
 )
 
 // domainJobs builds one job per registered experiment at quick parameters
 // with the horizon cut further (the sweepJobs trick), partitioned into the
-// given number of domains.
-func domainJobs(t *testing.T, domains int) []harness.Job {
+// given number of domains and carrying the given engine options per job.
+func domainJobs(t *testing.T, domains int, opts ...sim.Option) []harness.Job {
 	t.Helper()
 	base := experiments.DefaultParams(true)
 	base.Horizon = 20 * sim.Millisecond
 	base.Flows = 4
 	base.Domains = domains
+	base.Sim = opts
 	jobs, err := harness.Jobs(harness.Names(), nil, base)
 	if err != nil {
 		t.Fatal(err)
@@ -36,9 +35,9 @@ func domainJobs(t *testing.T, domains int) []harness.Job {
 // of domains and returns the results. The pool runs one worker: parity
 // needs identical runs, and the domains themselves advance cooperatively
 // inside each run.
-func runSweep(t *testing.T, domains int) []*harness.Result {
+func runSweep(t *testing.T, domains int, opts ...sim.Option) []*harness.Result {
 	t.Helper()
-	jobs := domainJobs(t, domains)
+	jobs := domainJobs(t, domains, opts...)
 	if len(jobs) < 14 {
 		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
 	}
@@ -54,8 +53,6 @@ func TestDomainRunsFingerprintMatchSingleEngine(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick sweep six times")
 	}
-	defer core.SetDenseTables(true)
-	defer topo.SetDenseForwarding(true)
 
 	for _, layout := range []struct {
 		name  string
@@ -63,11 +60,13 @@ func TestDomainRunsFingerprintMatchSingleEngine(t *testing.T) {
 	}{{"dense", true}, {"map", false}} {
 		layout := layout
 		t.Run(layout.name, func(t *testing.T) {
-			core.SetDenseTables(layout.dense)
-			topo.SetDenseForwarding(layout.dense)
-			single := runSweep(t, 1)
+			opts := []sim.Option{
+				sim.WithDenseTables(layout.dense),
+				sim.WithDenseForwarding(layout.dense),
+			}
+			single := runSweep(t, 1, opts...)
 			for _, domains := range []int{2, 4} {
-				parted := runSweep(t, domains)
+				parted := runSweep(t, domains, opts...)
 				for i := range single {
 					sf, pf := harness.Fingerprint(single[i]), harness.Fingerprint(parted[i])
 					if sf != pf {

@@ -19,13 +19,23 @@ import (
 	"aqueue/internal/units"
 )
 
+// BottleneckResult is one single-bottleneck run's outcome: the packets put
+// on the bottleneck wire (the quantity the forwarding benchmark normalizes
+// by) and the engine's event accounting — events dispatched through the
+// scheduler plus deliveries drained inline by burst mode, whose sum is the
+// same for any burst size.
+type BottleneckResult struct {
+	TxPackets uint64
+	Events    uint64
+	Inlined   uint64
+}
+
 // RunSingleBottleneck forwards traffic from four entities (two CUBIC flows
 // each, tagged with per-entity ingress AQs) plus one unreactive UDP blaster
-// through a shared 10 Gbps dumbbell bottleneck for the given horizon. It
-// returns the packets put on the bottleneck wire — the quantity the
-// forwarding benchmark normalizes by.
-func RunSingleBottleneck(horizon sim.Time) uint64 {
-	eng := sim.NewEngine()
+// through a shared 10 Gbps dumbbell bottleneck for the given horizon, on an
+// engine configured with opts.
+func RunSingleBottleneck(horizon sim.Time, opts ...sim.Option) BottleneckResult {
+	eng := sim.NewEngine(opts...)
 	spec := topo.DefaultSim()
 	d := topo.NewDumbbell(eng, 4, 4, spec, spec)
 	for i := 0; i < 4; i++ {
@@ -48,7 +58,11 @@ func RunSingleBottleneck(horizon sim.Time) uint64 {
 		s.Stop()
 	}
 	u.Stop()
-	return d.Bottleneck.TxPackets
+	return BottleneckResult{
+		TxPackets: d.Bottleneck.TxPackets,
+		Events:    eng.Processed,
+		Inlined:   eng.Inlined,
+	}
 }
 
 // RunEngineChurn drives an engine-only workload: width self-perpetuating
@@ -101,43 +115,149 @@ func MeasureEngine(events int) EngineResult {
 }
 
 // ForwardingResult is the macro forwarding benchmark record. One op is a
-// full single-bottleneck run over the configured horizon.
+// full single-bottleneck run over the configured horizon, executed with the
+// configured burst size; a second, untimed-for-comparison pass with burst
+// mode off records the per-packet baseline event count, and Identical
+// reports whether both passes put exactly the same traffic on the wire —
+// the burst determinism gate at benchmark scope.
 type ForwardingResult struct {
-	Runs          int     `json:"runs"`
-	HorizonNS     int64   `json:"horizon_ns"`
-	PacketsPerOp  uint64  `json:"packets_per_op"`
+	Runs         int    `json:"runs"`
+	HorizonNS    int64  `json:"horizon_ns"`
+	BurstSize    int    `json:"burst_size"`
+	PacketsPerOp uint64 `json:"packets_per_op"`
+
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
 	BytesPerOp    float64 `json:"bytes_per_op"`
 	NsPerPacket   float64 `json:"ns_per_packet"`
 	PacketsPerSec float64 `json:"packets_per_sec"`
+
+	// EventsPerOp counts events dispatched through the scheduler per run;
+	// InlinedPerOp counts deliveries burst mode drained without an event.
+	// EventsPerPacket = EventsPerOp / PacketsPerOp is the headline
+	// amortization metric; NoBurstEventsPerPacket is the same ratio with
+	// burst mode off (where InlinedPerOp is zero by construction).
+	EventsPerOp            uint64  `json:"events_per_op"`
+	InlinedPerOp           uint64  `json:"inlined_per_op"`
+	EventsPerPacket        float64 `json:"events_per_packet"`
+	NoBurstEventsPerPacket float64 `json:"no_burst_events_per_packet"`
+	Identical              bool    `json:"identical"`
 }
 
-// MeasureForwarding runs the single-bottleneck scenario `runs` times and
-// reports per-op wall time plus per-op allocation counts from
-// runtime.MemStats (measured across all runs, divided back out — the same
-// accounting `go test -bench` uses).
-func MeasureForwarding(runs int, horizon sim.Time) ForwardingResult {
-	pkts := RunSingleBottleneck(horizon) // warm-up: fill the packet pool
+// MeasureForwarding runs the single-bottleneck scenario `runs` times at the
+// given burst size and reports per-op wall time plus per-op allocation
+// counts from runtime.MemStats (measured across all runs, divided back out
+// — the same accounting `go test -bench` uses). One extra untimed pass with
+// burst mode off records the baseline events/packet and checks the two
+// modes delivered identical traffic.
+func MeasureForwarding(runs int, horizon sim.Time, burst int) ForwardingResult {
+	opts := []sim.Option{sim.WithBurstSize(burst)}
+	r := RunSingleBottleneck(horizon, opts...) // warm-up: fill the packet pool
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < runs; i++ {
-		pkts = RunSingleBottleneck(horizon)
+		r = RunSingleBottleneck(horizon, opts...)
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
+	ref := RunSingleBottleneck(horizon, sim.WithBurstSize(0))
 	nsPerOp := float64(wall.Nanoseconds()) / float64(runs)
 	return ForwardingResult{
-		Runs:          runs,
-		HorizonNS:     int64(horizon),
-		PacketsPerOp:  pkts,
+		Runs:         runs,
+		HorizonNS:    int64(horizon),
+		BurstSize:    burst,
+		PacketsPerOp: r.TxPackets,
+
 		NsPerOp:       nsPerOp,
 		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(runs),
 		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(runs),
-		NsPerPacket:   nsPerOp / float64(pkts),
-		PacketsPerSec: float64(pkts) * float64(runs) / wall.Seconds(),
+		NsPerPacket:   nsPerOp / float64(r.TxPackets),
+		PacketsPerSec: float64(r.TxPackets) * float64(runs) / wall.Seconds(),
+
+		EventsPerOp:            r.Events,
+		InlinedPerOp:           r.Inlined,
+		EventsPerPacket:        float64(r.Events) / float64(r.TxPackets),
+		NoBurstEventsPerPacket: float64(ref.Events) / float64(ref.TxPackets),
+		Identical:              r.TxPackets == ref.TxPackets,
+	}
+}
+
+// drainSink counts and recycles packets delivered by a drain run.
+type drainSink struct {
+	pool *packet.Pool
+	n    uint64
+}
+
+func (s *drainSink) Receive(p *packet.Packet) {
+	s.n++
+	s.pool.Release(p)
+}
+
+// DrainResult is the drain-run benchmark record: one op queues `packets`
+// back-to-back onto an idle 10 Gbps pipe and runs the engine until the
+// buffer empties into a sink. With nothing else on the calendar every
+// departure is part of one long back-to-back run — the regime burst mode
+// is built for — so events/packet collapses toward 1/burst, whereas the
+// closed-loop forwarding scenario's interleaved ACK and pacing events keep
+// its runs short. The two scenarios bracket burst mode's range.
+type DrainResult struct {
+	Runs         int    `json:"runs"`
+	PacketsPerOp uint64 `json:"packets_per_op"`
+	BurstSize    int    `json:"burst_size"`
+
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerPacket float64 `json:"ns_per_packet"`
+
+	EventsPerOp            uint64  `json:"events_per_op"`
+	InlinedPerOp           uint64  `json:"inlined_per_op"`
+	EventsPerPacket        float64 `json:"events_per_packet"`
+	NoBurstEventsPerPacket float64 `json:"no_burst_events_per_packet"`
+	Identical              bool    `json:"identical"`
+}
+
+// RunDrain queues `packets` MSS-sized packets onto an idle pipe at t=0 and
+// drains them to a sink. It returns delivered packets, the engine's final
+// clock, and the event accounting.
+func RunDrain(packets int, opts ...sim.Option) (delivered uint64, end sim.Time, events, inlined uint64) {
+	eng := sim.NewEngine(opts...)
+	sink := &drainSink{pool: packet.PoolFor(eng)}
+	pipe := topo.NewPipe(eng, 10*units.Gbps, 5*sim.Microsecond, 0, 0, sink)
+	for i := 0; i < packets; i++ {
+		pipe.Send(sink.pool.NewData(1, 2, 1, int64(i)*packet.DefaultMSS, packet.DefaultMSS))
+	}
+	eng.Run()
+	return sink.n, eng.Now(), eng.Processed, eng.Inlined
+}
+
+// MeasureDrain times RunDrain at the given burst size, plus one untimed
+// burst-off pass for the events/packet baseline and the identity check.
+func MeasureDrain(runs, packets, burst int) DrainResult {
+	opts := []sim.Option{sim.WithBurstSize(burst)}
+	RunDrain(packets, opts...) // warm-up: fill the packet pool
+	var delivered, events, inlined uint64
+	var end sim.Time
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		delivered, end, events, inlined = RunDrain(packets, opts...)
+	}
+	wall := time.Since(start)
+	refDelivered, refEnd, refEvents, _ := RunDrain(packets, sim.WithBurstSize(0))
+	nsPerOp := float64(wall.Nanoseconds()) / float64(runs)
+	return DrainResult{
+		Runs:         runs,
+		PacketsPerOp: delivered,
+		BurstSize:    burst,
+
+		NsPerOp:     nsPerOp,
+		NsPerPacket: nsPerOp / float64(delivered),
+
+		EventsPerOp:            events,
+		InlinedPerOp:           inlined,
+		EventsPerPacket:        float64(events) / float64(delivered),
+		NoBurstEventsPerPacket: float64(refEvents) / float64(refDelivered),
+		Identical:              delivered == refDelivered && end == refEnd,
 	}
 }
 
@@ -148,8 +268,8 @@ func MeasureForwarding(runs int, horizon sim.Time) ForwardingResult {
 // segments, and losses fire real retransmission timeouts. It returns the
 // packets put on the bottleneck wire, the quantity the wheel-vs-heap
 // determinism check compares.
-func RunTimerHeavy(flows int, horizon sim.Time) uint64 {
-	eng := sim.NewEngine()
+func RunTimerHeavy(flows int, horizon sim.Time, opts ...sim.Option) uint64 {
+	eng := sim.NewEngine(opts...)
 	spec := topo.DefaultSim()
 	d := topo.NewDumbbell(eng, 4, 4, spec, spec)
 	var senders []*transport.Sender
@@ -180,23 +300,20 @@ type TimersResult struct {
 	Identical    bool    `json:"identical"`
 }
 
-// MeasureTimers times RunTimerHeavy with the wheel on and off. The wheel is
-// restored to its default (enabled) before returning.
+// MeasureTimers times RunTimerHeavy with the wheel on and off, configured
+// per engine through options — nothing process-global is touched.
 func MeasureTimers(flows int, horizon sim.Time) TimersResult {
 	r := TimersResult{Flows: flows, HorizonNS: int64(horizon)}
-	defer sim.SetTimerWheel(true)
 
-	sim.SetTimerWheel(true)
-	RunTimerHeavy(flows, horizon/4) // warm-up: heat pools and the wheel
+	RunTimerHeavy(flows, horizon/4, sim.WithTimerWheel(true)) // warm-up: heat pools and the wheel
 	start := time.Now()
-	wheelPkts := RunTimerHeavy(flows, horizon)
+	wheelPkts := RunTimerHeavy(flows, horizon, sim.WithTimerWheel(true))
 	r.WheelNS = time.Since(start).Nanoseconds()
 	r.PacketsPerOp = wheelPkts
 
-	sim.SetTimerWheel(false)
-	RunTimerHeavy(flows, horizon/4)
+	RunTimerHeavy(flows, horizon/4, sim.WithTimerWheel(false))
 	start = time.Now()
-	heapPkts := RunTimerHeavy(flows, horizon)
+	heapPkts := RunTimerHeavy(flows, horizon, sim.WithTimerWheel(false))
 	r.HeapNS = time.Since(start).Nanoseconds()
 
 	r.Identical = wheelPkts == heapPkts

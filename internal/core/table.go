@@ -11,18 +11,15 @@ import (
 	"aqueue/internal/trace"
 )
 
-// denseTables gates the direct-indexed fast path. It is consulted only when
-// a table's contents change (Deploy/Remove), never per packet, so toggling
-// it mid-run affects only tables built afterwards. On by default; the
-// fingerprint property tests flip it off to prove the map path is
-// byte-identical.
-var denseTables atomic.Bool
-
-func init() { denseTables.Store(true) }
-
-// SetDenseTables enables or disables the dense AQ lookup layout for tables
-// (re)built afterwards, returning the previous setting.
-func SetDenseTables(on bool) bool { return denseTables.Swap(on) }
+// SetDenseTables enables or disables the dense AQ lookup layout in the
+// process default options, returning the previous setting.
+//
+// Deprecated: pass sim.WithDenseTables to sim.NewEngine (or build tables
+// with NewTableDense); this shim only changes the default consulted by
+// NewTable for tables constructed afterwards.
+func SetDenseTables(on bool) bool {
+	return sim.SetDefaultOptions(sim.WithDenseTables(on)).DenseTables
+}
 
 // Table is the per-pipeline AQ lookup table of a switch (§4.2): a map from
 // the AQ ID carried in the packet header to the deployed AQ state. A switch
@@ -38,10 +35,18 @@ type Table struct {
 	// dense, when non-nil, is a direct-indexed mirror of aqs covering
 	// [0, maxID]: the hot path indexes it with the packet's tag instead of
 	// hashing. It is rebuilt on every Deploy/Remove and only kept while
-	// ident.Dense approves the ID range (sparse deploys fall back to the
-	// map). Both layouts hold the same *AQ pointers, so which one serves a
-	// lookup is unobservable in results.
+	// denseOK is set and ident.Dense approves the ID range (sparse deploys
+	// fall back to the map). Both layouts hold the same *AQ pointers, so
+	// which one serves a lookup is unobservable in results.
 	dense []*AQ
+
+	// denseOK permits the dense layout; fixed at construction from the
+	// engine options (or the process defaults for bare NewTable).
+	denseOK bool
+
+	// gen counts membership changes (Deploy/Remove). BurstCursor snapshots
+	// it so a memoized lookup can never survive a table rebuild.
+	gen uint64
 
 	// Bypass, when non-nil, is consulted per packet; a true return skips
 	// AQ processing entirely (work-conserving mode, §6).
@@ -79,9 +84,17 @@ func (t *Table) Stats() TableStats {
 	}
 }
 
-// NewTable returns an empty AQ table.
+// NewTable returns an empty AQ table, with the dense layout governed by the
+// process default options. Components with an engine in hand should prefer
+// NewTableDense(eng.Options().DenseTables).
 func NewTable() *Table {
-	return &Table{aqs: make(map[packet.AQID]*AQ)}
+	return NewTableDense(sim.DefaultOptions().DenseTables)
+}
+
+// NewTableDense returns an empty AQ table with the dense lookup layout
+// explicitly permitted or forbidden.
+func NewTableDense(dense bool) *Table {
+	return &Table{aqs: make(map[packet.AQID]*AQ), denseOK: dense}
 }
 
 // Deploy installs (or replaces) an AQ built from cfg and returns it.
@@ -100,8 +113,9 @@ func (t *Table) Remove(id packet.AQID) {
 
 // rebuild refreshes the dense mirror after a membership change.
 func (t *Table) rebuild() {
+	t.gen++
 	t.dense = nil
-	if !denseTables.Load() || len(t.aqs) == 0 {
+	if !t.denseOK || len(t.aqs) == 0 {
 		return
 	}
 	maxID := -1
@@ -149,18 +163,28 @@ func (t *Table) Process(now sim.Time, id packet.AQID, p *packet.Packet) Verdict 
 		return Pass
 	}
 	t.lookups.Add(1)
-	var aq *AQ
-	if t.dense != nil {
-		if int(id) < len(t.dense) {
-			aq = t.dense[id]
-		}
-	} else {
-		aq = t.aqs[id]
-	}
+	aq := t.lookup(id)
 	if aq == nil {
 		t.misses.Add(1)
 		return Pass
 	}
+	return t.run(now, aq, p)
+}
+
+// lookup resolves id through whichever layout the table currently holds.
+func (t *Table) lookup(id packet.AQID) *AQ {
+	if t.dense != nil {
+		if int(id) < len(t.dense) {
+			return t.dense[id]
+		}
+		return nil
+	}
+	return t.aqs[id]
+}
+
+// run executes the matched AQ's per-packet framework, recording trace
+// events when a sink is attached. Shared by Process and BurstCursor.
+func (t *Table) run(now sim.Time, aq *AQ, p *packet.Packet) Verdict {
 	if t.trace == nil {
 		return aq.Process(now, p)
 	}

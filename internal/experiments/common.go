@@ -144,15 +144,16 @@ func gbpsOf(bytes uint64, horizon sim.Time) float64 {
 }
 
 // newClusterN builds the simulation cluster for one run: domains engines
-// synchronized by conservative lookahead windows (see sim.Cluster). Values
-// below 1 mean a single engine. Every experiment routes its topology
-// construction through the cluster builders so that the same scenario
-// produces byte-identical results for any domain count.
-func newClusterN(domains int) *sim.Cluster {
+// synchronized by conservative lookahead windows (see sim.Cluster), each
+// configured with the experiment's engine options. Values below 1 mean a
+// single engine. Every experiment routes its topology construction through
+// the cluster builders so that the same scenario produces byte-identical
+// results for any domain count (and any option setting).
+func newClusterN(domains int, opts ...sim.Option) *sim.Cluster {
 	if domains < 1 {
 		domains = 1
 	}
-	return sim.NewCluster(domains)
+	return sim.NewCluster(domains, opts...)
 }
 
 // simSpec is the default §5.1 simulation link spec.

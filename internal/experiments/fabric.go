@@ -32,9 +32,9 @@ func fabricSpecs() (edge, fab topo.LinkSpec) {
 // Under PQ the split follows flow counts; with weighted AQs deployed on
 // both leaf ingress pipelines it follows the weights. Returns per-entity
 // Gbps for (PQ A, PQ B, AQ A, AQ B).
-func ExtFabricIsolation(horizon sim.Time, domains int) (pqA, pqB, aqA, aqB float64) {
+func ExtFabricIsolation(horizon sim.Time, domains int, opts ...sim.Option) (pqA, pqB, aqA, aqB float64) {
 	run := func(useAQ bool) (float64, float64) {
-		c := newClusterN(domains)
+		c := newClusterN(domains, opts...)
 		edge, fab := fabricSpecs()
 		f := topo.NewLeafSpineIn(c, 2, 2, 4, edge, fab)
 		// Entity A: hosts 0,1 (leaf 0) -> hosts 4,5 (leaf 1).
@@ -83,9 +83,9 @@ func ExtFabricIsolation(horizon sim.Time, domains int) (pqA, pqB, aqA, aqB float
 // a 2 Gbps inbound guarantee enforced by an egress-pipeline AQ on its
 // leaf. It returns the receiver's measured inbound rate and the fraction
 // of incast rounds completed, with and without the AQ.
-func ExtFabricIncast(horizon sim.Time, domains int) (pqGbps, aqGbps float64) {
+func ExtFabricIncast(horizon sim.Time, domains int, opts ...sim.Option) (pqGbps, aqGbps float64) {
 	run := func(useAQ bool) float64 {
-		c := newClusterN(domains)
+		c := newClusterN(domains, opts...)
 		edge, fab := fabricSpecs()
 		f := topo.NewLeafSpineIn(c, 3, 2, 3, edge, fab)
 		victim := f.Hosts[0]
@@ -123,15 +123,15 @@ func ExtFabricIncast(horizon sim.Time, domains int) (pqGbps, aqGbps float64) {
 }
 
 // ExtFabric renders both fabric extension results.
-func ExtFabric(horizon sim.Time, domains int) *Table {
+func ExtFabric(horizon sim.Time, domains int, opts ...sim.Option) *Table {
 	t := &Table{
 		Title:  "Extension: AQ on a 2-tier ECMP leaf-spine fabric",
 		Header: []string{"scenario", "PQ", "AQ"},
 	}
-	pqA, pqB, aqA, aqB := ExtFabricIsolation(horizon, domains)
+	pqA, pqB, aqA, aqB := ExtFabricIsolation(horizon, domains, opts...)
 	t.AddRow("isolation: entity A (8 flows) Gbps", pqA, aqA)
 	t.AddRow("isolation: entity B (32 flows) Gbps", pqB, aqB)
-	pqIn, aqIn := ExtFabricIncast(horizon, domains)
+	pqIn, aqIn := ExtFabricIncast(horizon, domains, opts...)
 	t.AddRow("8:1 incast victim inbound Gbps (guarantee 2)", pqIn, aqIn)
 	return t
 }

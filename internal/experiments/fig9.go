@@ -34,8 +34,8 @@ type Fig9Result struct {
 // starts at i*phase; the run ends after len(entities)+1 phases. Under AQ
 // the controller re-divides the link among the active entities at every
 // join (weighted mode, §4.1).
-func fig9Run(approach Approach, phase sim.Time, domains int) Fig9Result {
-	c := newClusterN(domains)
+func fig9Run(approach Approach, phase sim.Time, domains int, opts []sim.Option) Fig9Result {
+	c := newClusterN(domains, opts...)
 	spec := simSpec()
 	n := len(Fig9Entities)
 	d := topo.NewDumbbellIn(c, n, n, spec, spec)
@@ -88,12 +88,12 @@ func fig9Run(approach Approach, phase sim.Time, domains int) Fig9Result {
 
 // Fig9 reproduces Figure 9: per-phase throughput of TCP and UDP entities
 // under PQ (a) and AQ (b).
-func Fig9(phase sim.Time, domains int) (*Table, *Table) {
+func Fig9(phase sim.Time, domains int, opts ...sim.Option) (*Table, *Table) {
 	if phase <= 0 {
 		phase = 100 * sim.Millisecond
 	}
 	mk := func(ap Approach, title string) *Table {
-		r := fig9Run(ap, phase, domains)
+		r := fig9Run(ap, phase, domains, opts)
 		t := &Table{Title: title, Header: []string{"entity"}}
 		for ph := 0; ph < len(Fig9Entities)+1; ph++ {
 			t.Header = append(t.Header, fmt.Sprintf("phase %d (n=%d)", ph+1, min(ph+1, len(Fig9Entities))))

@@ -36,6 +36,12 @@ type Params struct {
 	// value — the knob trades nothing but execution strategy — which is
 	// why Fingerprint excludes it.
 	Domains int `json:"domains,omitempty"`
+	// Sim overrides engine options (dense layouts, timer wheel, pooling,
+	// burst size) for the experiment's engines. Like Domains, every knob
+	// here trades only execution strategy — results are byte-identical for
+	// any setting, which the fingerprint gates enforce — so the field is
+	// excluded from result JSON and fingerprints.
+	Sim []sim.Option `json:"-"`
 }
 
 // Experiment is a registered, named experiment. Run must be safe to call

@@ -2,7 +2,6 @@ package packet
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"aqueue/internal/sim"
 )
@@ -23,24 +22,25 @@ import (
 // simulator to that.
 var pool = sync.Pool{New: func() any { return new(Packet) }}
 
-// pooling gates the allocator; the lifecycle tests flip it to compare
-// pooled and unpooled runs.
-var pooling atomic.Bool
+// SetPooling enables or disables packet reuse in the process default
+// options (it is on by default). Disabling is only meant for A/B
+// determinism tests and debugging: Get falls back to the garbage collector
+// and Release becomes a no-op.
+//
+// Deprecated: pass sim.WithPooling to sim.NewEngine; this shim only
+// changes the default captured by engine pools created afterwards (and the
+// behaviour of the package-level Get/Release, which have no engine).
+func SetPooling(on bool) { sim.SetDefaultOptions(sim.WithPooling(on)) }
 
-func init() { pooling.Store(true) }
-
-// SetPooling enables or disables packet reuse (it is on by default).
-// Disabling is only meant for A/B determinism tests and debugging: Get
-// falls back to the garbage collector and Release becomes a no-op.
-func SetPooling(on bool) { pooling.Store(on) }
-
-// PoolingEnabled reports whether packets are being reused.
-func PoolingEnabled() bool { return pooling.Load() }
+// PoolingEnabled reports whether the default options enable packet reuse.
+func PoolingEnabled() bool { return sim.DefaultOptions().Pooling }
 
 // Get returns a zeroed packet from the pool. Prefer NewData/NewAck, which
-// also fill in the common header fields.
+// also fill in the common header fields. Engine-bound components should
+// use their engine's Pool, which fixes the pooling choice at engine
+// construction; the package-level form consults the process default.
 func Get() *Packet {
-	if !pooling.Load() {
+	if !sim.DefaultOptions().Pooling {
 		return new(Packet)
 	}
 	p := pool.Get().(*Packet)
@@ -54,7 +54,7 @@ func Get() *Packet {
 // once, and must not touch the packet afterwards. Under `-tags aqdebug`
 // the packet is poisoned on release and a double release panics.
 func Release(p *Packet) {
-	if p == nil || !pooling.Load() {
+	if p == nil || !sim.DefaultOptions().Pooling {
 		return
 	}
 	debugRelease(p)
@@ -72,29 +72,34 @@ const maxEngineFree = 4096
 // needs no locking, and parallel harness workers recycling through their
 // own engine's Pool never contend on — or bounce cache lines through — the
 // process-wide pool; the sync.Pool is only the spill/refill tier. A Pool
-// honours SetPooling and the aqdebug poisoning exactly like the package
-// Get/Release, and packets are fully zeroed on reuse either way, so which
-// tier served an allocation is unobservable in results.
+// honours its engine's Pooling option and the aqdebug poisoning exactly
+// like the package Get/Release, and packets are fully zeroed on reuse
+// either way, so which tier served an allocation is unobservable in
+// results.
 type Pool struct {
 	free []*Packet
+	// enabled is the engine's Pooling option, cached so the hot path pays
+	// no atomic load: the choice is fixed for the life of the engine.
+	enabled bool
 }
 
 // PoolFor returns the engine's packet free list, creating it on first use.
 // It is stored in the engine's opaque pool slot, so components built on the
-// same engine share one list.
+// same engine share one list; whether it recycles at all is the engine's
+// Pooling option.
 func PoolFor(e *sim.Engine) *Pool {
 	slot := e.PacketPoolSlot()
 	if p, ok := (*slot).(*Pool); ok {
 		return p
 	}
-	p := &Pool{}
+	p := &Pool{enabled: e.Options().Pooling}
 	*slot = p
 	return p
 }
 
 // Get returns a zeroed packet, preferring the engine-local free list.
 func (pl *Pool) Get() *Packet {
-	if !pooling.Load() {
+	if !pl.enabled {
 		return new(Packet)
 	}
 	if n := len(pl.free); n > 0 {
@@ -115,7 +120,7 @@ func (pl *Pool) Get() *Packet {
 // shared pool past the cap). Same ownership contract as the package-level
 // Release.
 func (pl *Pool) Release(p *Packet) {
-	if p == nil || !pooling.Load() {
+	if p == nil || !pl.enabled {
 		return
 	}
 	debugRelease(p)

@@ -40,6 +40,29 @@ type FIFO struct {
 	DropHook func(*packet.Packet) // optional, observes drops
 }
 
+// FIFOStats is a snapshot of the queue's counters and occupancy, following
+// the repo-wide stats convention (value type, no locks held).
+type FIFOStats struct {
+	Enqueued uint64 `json:"enqueued"`
+	Dropped  uint64 `json:"dropped"`
+	Marked   uint64 `json:"marked"`
+	MaxBytes int    `json:"max_bytes"`
+	Bytes    int    `json:"bytes"`
+	Packets  int    `json:"packets"`
+}
+
+// Stats returns a snapshot of the queue counters and current occupancy.
+func (q *FIFO) Stats() FIFOStats {
+	return FIFOStats{
+		Enqueued: q.Enqueued,
+		Dropped:  q.Dropped,
+		Marked:   q.Marked,
+		MaxBytes: q.MaxBytes,
+		Bytes:    q.bytes,
+		Packets:  q.packets.len(),
+	}
+}
+
 // New returns a FIFO with the given byte limit and ECN threshold (both in
 // bytes). limit <= 0 means unlimited; ecnThreshold <= 0 disables marking.
 // The AQM random stream starts from a fixed seed; owners that build many
@@ -127,6 +150,14 @@ func (q *FIFO) PopDrained(size int) {
 	q.bytes -= size
 }
 
+// PopDrainedN is PopDrained for a whole burst: it removes the n head
+// entries in one ring operation and subtracts their total size, which the
+// caller accumulated while walking its started-transmission record.
+func (q *FIFO) PopDrainedN(n, totalSize int) {
+	q.packets.popN(n)
+	q.bytes -= totalSize
+}
+
 // Pop dequeues the head packet, or returns nil when empty.
 func (q *FIFO) Pop() *packet.Packet {
 	p := q.packets.pop()
@@ -140,7 +171,9 @@ func (q *FIFO) Pop() *packet.Packet {
 func (q *FIFO) Peek() *packet.Packet { return q.packets.peek() }
 
 // ring is a growable circular buffer of packets; it avoids the per-element
-// allocation and pointer-chasing of container/list on the hot path.
+// allocation and pointer-chasing of container/list on the hot path. The
+// buffer length is always a power of two (16, doubled), so index wrap is a
+// mask, not a divide.
 type ring struct {
 	buf        []*packet.Packet
 	head, size int
@@ -152,8 +185,17 @@ func (r *ring) push(p *packet.Packet) {
 	if r.size == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.size)%len(r.buf)] = p
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = p
 	r.size++
+}
+
+// popN discards the n head entries (n <= size) without reading them.
+func (r *ring) popN(n int) {
+	for i := 0; i < n; i++ {
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+	}
+	r.size -= n
 }
 
 func (r *ring) pop() *packet.Packet {
@@ -162,7 +204,7 @@ func (r *ring) pop() *packet.Packet {
 	}
 	p := r.buf[r.head]
 	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.size--
 	return p
 }
@@ -181,7 +223,7 @@ func (r *ring) grow() {
 	}
 	buf := make([]*packet.Packet, n)
 	for i := 0; i < r.size; i++ {
-		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}
 	r.buf = buf
 	r.head = 0

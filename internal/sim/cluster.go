@@ -52,14 +52,15 @@ type Cluster struct {
 	Windows uint64
 }
 
-// NewCluster returns a cluster of n fresh engines (n >= 1).
-func NewCluster(n int) *Cluster {
+// NewCluster returns a cluster of n fresh engines (n >= 1), each configured
+// by the process defaults overridden with the same opts.
+func NewCluster(n int, opts ...Option) *Cluster {
 	if n < 1 {
 		panic("sim: cluster needs at least one domain")
 	}
 	c := &Cluster{engines: make([]*Engine, n)}
 	for i := range c.engines {
-		c.engines[i] = NewEngine()
+		c.engines[i] = NewEngine(opts...)
 	}
 	return c
 }

@@ -142,15 +142,37 @@ type Engine struct {
 	vals []heapVal // payloads, parallel to keys
 	dead int       // cancelled events still in the heap
 	seqs seqTable
+	opt  Options
+
+	// deadline is the inclusive bound of the dispatch loop currently
+	// running (Run/RunUntil/runTo); 0 when no bounded dispatch is active
+	// (e.g. during a bare Step), which disables inline burst draining.
+	// Bursts may only consume events up to the deadline, so a windowed
+	// cluster run can never drain a delivery past its window boundary.
+	deadline Time
+
+	// hole is true while the root slot holds the event currently firing:
+	// the dispatch loop defers the physical pop so that the first event
+	// the handler schedules can drop straight into the root with one
+	// sift-down, fusing the pop's down + push's up of the ubiquitous
+	// fire-then-reschedule pattern into a single down. While the hole is
+	// open the root key is stale; peekHeap and Pending compensate, and
+	// every path that moves heap slots (Reschedule, compaction) closes the
+	// hole first.
+	hole bool
 
 	// wheel is the timer lane; nil when the engine was built with
-	// SetTimerWheel(false), in which case Timer handles fall back to heap
+	// WithTimerWheel(false), in which case Timer handles fall back to heap
 	// events.
 	wheel *timerWheel
 
 	// Processed counts events that have fired (not cancelled ones); it is
 	// exposed for benchmarks and sanity checks.
 	Processed uint64
+
+	// Inlined counts deliveries drained inline by burst mode — each one an
+	// engine event (heap push + pop + dispatch) that never had to exist.
+	Inlined uint64
 
 	// packetPool is an opaque per-engine slot the packet package uses for
 	// its engine-local free list (sim cannot import packet). See
@@ -164,15 +186,39 @@ type Engine struct {
 // the value.
 func (e *Engine) PacketPoolSlot() *any { return &e.packetPool }
 
-// NewEngine returns an engine with the clock at zero and no pending events.
-// The timer-wheel lane is materialized here when enabled (the default), so
-// one engine's lane choice is fixed for its lifetime.
-func NewEngine() *Engine {
-	e := &Engine{}
-	if timerWheelEnabled.Load() {
+// NewEngine returns an engine with the clock at zero and no pending events,
+// configured by the process defaults overridden with opts. The timer-wheel
+// lane is materialized here when enabled (the default), so one engine's
+// lane choice — like every other option — is fixed for its lifetime.
+func NewEngine(opts ...Option) *Engine {
+	o := DefaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	e := &Engine{opt: o}
+	if o.TimerWheel {
 		e.wheel = newTimerWheel()
 	}
 	return e
+}
+
+// Options returns the engine's configuration, fixed at construction.
+// Components built on the engine (switches, hosts, pipes, pools) read
+// their layout and burst knobs from here instead of package globals.
+func (e *Engine) Options() Options { return e.opt }
+
+// EngineStats is a snapshot of the engine's dispatch counters, following
+// the repo-wide stats convention (value type, no locks held).
+type EngineStats struct {
+	Now       Time   `json:"now_ns"`
+	Processed uint64 `json:"processed"`
+	Inlined   uint64 `json:"inlined"`
+	Pending   int    `json:"pending"`
+}
+
+// Stats returns a snapshot of the clock and event counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{Now: e.now, Processed: e.Processed, Inlined: e.Inlined, Pending: e.Pending()}
 }
 
 // Now returns the current simulated time.
@@ -227,11 +273,9 @@ func (e *Engine) After(d Time, fn func()) *Event {
 // allocates nothing and never touches Event memory.
 func (e *Engine) AtDetached(t Time, fn func(any), arg any) {
 	e.checkTime(t)
-	i := len(e.keys)
-	e.keys = append(e.keys, heapKey{at: t, seq: e.seq})
-	e.vals = append(e.vals, heapVal{fnArg: fn, arg: arg})
+	k := heapKey{at: t, seq: e.seq}
 	e.seq++
-	e.up(i)
+	e.place(k, heapVal{fnArg: fn, arg: arg})
 }
 
 // AfterDetached schedules fn(arg) to run d nanoseconds from now; see
@@ -261,11 +305,81 @@ const MaxLane = 1<<24 - 1
 // events in exactly the order the single-domain run does.
 func (e *Engine) AtOrdered(lane uint32, t Time, fn func(any), arg any) {
 	e.checkTime(t)
-	i := len(e.keys)
-	e.keys = append(e.keys, heapKey{at: t, seq: uint64(lane)<<laneOrdShift | e.seq})
-	e.vals = append(e.vals, heapVal{fnArg: fn, arg: arg})
+	k := heapKey{at: t, seq: uint64(lane)<<laneOrdShift | e.seq}
 	e.seq++
-	e.up(i)
+	e.place(k, heapVal{fnArg: fn, arg: arg})
+}
+
+// The burst-drain protocol. A pipe whose deliveries are strictly ordered
+// can elide the heap push/pop pair of its next delivery when that delivery
+// is provably the engine's next event anyway:
+//
+//	ord := e.ReserveOrd(lane)      // draw the ordering word where AtOrdered would
+//	dst.Receive(pkt)               // the receiver may schedule events
+//	if e.InlineRunnable(at, ord) { // would (at, ord) fire next, within the window?
+//	    e.AdvanceInline(at)        // yes: run it here, no event exists
+//	} else {
+//	    e.ScheduleReserved(at, ord, fn, arg) // no: arm it with the reserved word
+//	}
+//
+// Determinism is exact, not approximate: the ordering word is drawn at the
+// same logical point the per-packet path draws it (before Receive), so
+// every event — inlined or armed — carries the key it would have carried,
+// and InlineRunnable compares that key against both scheduling lanes. An
+// inlined delivery therefore fires exactly when and where the per-packet
+// schedule would have fired it; only the heap traffic disappears.
+
+// ReserveOrd draws the next ordering word for the lane without scheduling
+// anything; pair it with ScheduleReserved or an inline dispatch. Reserving
+// consumes one scheduling sequence number, exactly like AtOrdered.
+func (e *Engine) ReserveOrd(lane uint32) uint64 {
+	ord := uint64(lane)<<laneOrdShift | e.seq
+	e.seq++
+	return ord
+}
+
+// ScheduleReserved schedules fn(arg) at absolute time t under a previously
+// reserved ordering word. It is AtOrdered with the draw already made.
+func (e *Engine) ScheduleReserved(t Time, ord uint64, fn func(any), arg any) {
+	e.checkTime(t)
+	e.place(heapKey{at: t, seq: ord}, heapVal{fnArg: fn, arg: arg})
+}
+
+// InlineRunnable reports whether an event with key (t, ord) would be the
+// very next event the dispatch loop fires — no pending heap event or armed
+// wheel timer precedes it — and t lies within the currently running
+// bounded dispatch. False whenever no bounded dispatch is active, which
+// disables bursting under bare Step loops.
+func (e *Engine) InlineRunnable(t Time, ord uint64) bool {
+	if e.deadline == 0 || t > e.deadline {
+		return false
+	}
+	k := heapKey{at: t, seq: ord}
+	if hk, ok := e.peekHeap(); ok && less(hk, k) {
+		return false
+	}
+	if e.wheel != nil && e.wheel.live > 0 {
+		if wk, _ := e.wheel.peek(e.now); less(wk, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// InlineTruncated reports whether an inline dispatch of an event at t is
+// ruled out by the dispatch bound itself — no bounded dispatch is running,
+// or t lies beyond its deadline — rather than by competing events. Burst
+// probers use this to tell a window truncation (try again next window)
+// from an interleave defeat (worth backing off from).
+func (e *Engine) InlineTruncated(t Time) bool {
+	return e.deadline == 0 || t > e.deadline
+}
+
+// AdvanceInline moves the clock to t for an inlined event the caller has
+// proved runnable with InlineRunnable, and accounts the elided event.
+func (e *Engine) AdvanceInline(t Time) {
+	e.now = t
+	e.Inlined++
 }
 
 // Reschedule moves a timer to fire fn at absolute time t, reusing ev when
@@ -296,6 +410,9 @@ func (e *Engine) Reschedule(ev *Event, t Time, fn func()) *Event {
 	}
 	ev.eng = e
 	if ev.index >= 0 {
+		if e.hole {
+			e.closeHole() // fix moves slots; indices must be consistent
+		}
 		e.fix(ev.index)
 	} else {
 		e.push(ev)
@@ -323,6 +440,9 @@ func (e *Engine) checkTime(t Time) {
 // has no tombstones to exclude).
 func (e *Engine) Pending() int {
 	n := len(e.keys) - e.dead
+	if e.hole {
+		n-- // the stale root is the event currently firing, not pending
+	}
 	if e.wheel != nil {
 		n += e.wheel.live
 	}
@@ -332,6 +452,9 @@ func (e *Engine) Pending() int {
 // peekHeap discards tombstones from the heap root and reports the key of
 // the earliest live heap event, or ok=false when the heap has none.
 func (e *Engine) peekHeap() (heapKey, bool) {
+	if e.hole {
+		return e.peekSansRoot()
+	}
 	for len(e.keys) > 0 {
 		if v := e.vals[0]; v.ev != nil && v.ev.cancelled {
 			e.pop()
@@ -341,6 +464,29 @@ func (e *Engine) peekHeap() (heapKey, bool) {
 		return e.keys[0], true
 	}
 	return heapKey{}, false
+}
+
+// peekSansRoot reports the earliest heap key excluding the stale root of an
+// open hole: by the heap property that is the least of the root's (at most
+// four) children. Tombstones are not discarded here — a cancelled child's
+// key is a conservative answer for InlineRunnable, and the dispatch loop
+// purges tombstones at its top, when the hole is closed.
+func (e *Engine) peekSansRoot() (heapKey, bool) {
+	n := len(e.keys)
+	if n <= 1 {
+		return heapKey{}, false
+	}
+	min := 1
+	last := 5
+	if last > n {
+		last = n
+	}
+	for c := 2; c < last; c++ {
+		if less(e.keys[c], e.keys[min]) {
+			min = c
+		}
+	}
+	return e.keys[min], true
 }
 
 // Step fires the earliest pending event — merging the heap and wheel lanes
@@ -364,17 +510,30 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	v := e.vals[0]
-	e.pop()
+	if ev := v.ev; ev != nil {
+		ev.index = -1
+	}
+	e.hole = true
 	e.now = hk.at
 	e.fire(v)
 	e.Processed++
+	if e.hole {
+		e.closeHole()
+	}
 	return true
 }
 
+// maxTime is the deadline sentinel for an unbounded dispatch (Run): far
+// enough out that no schedulable time exceeds it, distinguishable from the
+// zero that means "no dispatch active".
+const maxTime = Time(1<<62 - 1)
+
 // Run fires events until both lanes are empty.
 func (e *Engine) Run() {
+	e.deadline = maxTime
 	for e.Step() {
 	}
+	e.deadline = 0
 }
 
 // RunUntil fires events with timestamps <= deadline and then advances the
@@ -390,6 +549,8 @@ func (e *Engine) RunUntil(deadline Time) {
 // Wheel timers respect the deadline exactly like heap events, so a
 // windowed cluster run can never skip a timer past a window boundary.
 func (e *Engine) runTo(deadline Time) {
+	e.deadline = deadline
+	defer func() { e.deadline = 0 }()
 	for {
 		hk, hasHeap := e.peekHeap()
 		if e.wheel != nil && e.wheel.live > 0 {
@@ -408,11 +569,20 @@ func (e *Engine) runTo(deadline Time) {
 		if !hasHeap || hk.at > deadline {
 			break
 		}
+		// Deferred pop: open the root hole and fire. The handler's first
+		// scheduling call refills the root directly (see place); only a
+		// handler that schedules nothing pays the full pop.
 		v := e.vals[0]
-		e.pop()
+		if ev := v.ev; ev != nil {
+			ev.index = -1
+		}
+		e.hole = true
 		e.now = hk.at
 		e.fire(v)
 		e.Processed++
+		if e.hole {
+			e.closeHole()
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -447,6 +617,9 @@ func (e *Engine) fire(v heapVal) {
 func (e *Engine) maybeCompact() {
 	if e.dead < 64 || e.dead*2 <= len(e.keys) {
 		return
+	}
+	if e.hole {
+		e.closeHole() // never rebuild the heap around a stale root
 	}
 	liveK, liveV := e.keys[:0], e.vals[:0]
 	for i, v := range e.vals {
@@ -488,10 +661,36 @@ func less(a, b heapKey) bool {
 }
 
 func (e *Engine) push(ev *Event) {
+	e.place(heapKey{at: ev.at, seq: ev.seq}, heapVal{ev: ev})
+}
+
+// place inserts one heap slot. When the dispatch loop's root hole is open
+// (see Engine.hole), the slot drops straight into the root and sifts down —
+// the fused form of pop-then-push. Otherwise it appends and sifts up; both
+// paths record final positions via setIndex.
+func (e *Engine) place(key heapKey, val heapVal) {
+	if e.hole {
+		e.hole = false
+		e.keys[0] = key
+		e.vals[0] = val
+		e.down(0)
+		return
+	}
 	i := len(e.keys)
-	e.keys = append(e.keys, heapKey{at: ev.at, seq: ev.seq})
-	e.vals = append(e.vals, heapVal{ev: ev})
-	e.up(i) // up always runs and records the final position
+	e.keys = append(e.keys, key)
+	e.vals = append(e.vals, val)
+	e.up(i)
+}
+
+// closeHole physically removes the stale root left by a deferred pop: the
+// fired handler scheduled nothing, so the last slot moves up as a normal
+// pop would have done. The stale payload is cleared first so pop cannot
+// touch the fired event object (the handler may have re-armed it elsewhere
+// in the heap).
+func (e *Engine) closeHole() {
+	e.hole = false
+	e.vals[0] = heapVal{}
+	e.pop()
 }
 
 // pop removes the heap root; callers copy the root's key/val first.

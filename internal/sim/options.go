@@ -1,0 +1,118 @@
+package sim
+
+import "sync/atomic"
+
+// Engine configuration. Every feature knob that used to be a package-global
+// toggle (dense AQ tables, dense forwarding, the timer-wheel lane, packet
+// pooling) plus the burst-drain size is carried by an Options value fixed at
+// engine construction: two engines in one process can run with different
+// configurations, and nothing a test flips can leak into an engine built
+// elsewhere. Process-wide defaults exist only as the compatibility surface
+// behind the deprecated Set* shims in core, topo, and packet.
+
+// Options is the per-engine feature configuration. The zero value is NOT
+// the default configuration — use DefaultOptions (or just NewEngine, which
+// starts from it) and override with With* options.
+type Options struct {
+	// DenseTables enables the direct-indexed AQ lookup layout for tables
+	// built against this engine (see core.Table). Layout only — results are
+	// byte-identical either way.
+	DenseTables bool
+	// DenseForwarding enables the direct-indexed forwarding tables of
+	// switches and the dense flow dispatch of hosts built on this engine.
+	DenseForwarding bool
+	// TimerWheel routes timer-class events through the hierarchical timing
+	// wheel; off, Timer handles fall back to heap events.
+	TimerWheel bool
+	// Pooling enables packet reuse through the engine's free list; off, Get
+	// falls back to the garbage collector and Release is a no-op.
+	Pooling bool
+	// BurstSize caps how many back-to-back pipe deliveries one engine event
+	// may drain inline (the burst-mode data plane); 0 disables bursting and
+	// every delivery is its own event. Results are byte-identical for any
+	// value — bursting elides only events that would fire next anyway.
+	BurstSize int
+}
+
+// Option overrides one knob of an engine's Options.
+type Option func(*Options)
+
+// WithDenseTables sets Options.DenseTables.
+func WithDenseTables(on bool) Option { return func(o *Options) { o.DenseTables = on } }
+
+// WithDenseForwarding sets Options.DenseForwarding.
+func WithDenseForwarding(on bool) Option { return func(o *Options) { o.DenseForwarding = on } }
+
+// WithTimerWheel sets Options.TimerWheel.
+func WithTimerWheel(on bool) Option { return func(o *Options) { o.TimerWheel = on } }
+
+// WithPooling sets Options.Pooling.
+func WithPooling(on bool) Option { return func(o *Options) { o.Pooling = on } }
+
+// WithBurstSize sets Options.BurstSize; n <= 0 disables burst draining.
+func WithBurstSize(n int) Option {
+	return func(o *Options) {
+		if n < 0 {
+			n = 0
+		}
+		o.BurstSize = n
+	}
+}
+
+// DefaultBurstSize is the default cap on inline deliveries per engine
+// event. A burst ends the moment any other event (a timer, another pipe's
+// delivery) is due first, so the cap only bounds the degenerate case of one
+// pipe owning the whole window; 64 mirrors the DPDK burst convention.
+const DefaultBurstSize = 64
+
+// The process-wide default options, read once per NewEngine and mutated
+// only through SetDefaultOptions (i.e. the deprecated Set* shims). Stored
+// as individual atomics so concurrent harness workers can build engines
+// while a (badly behaved) caller flips a default.
+var (
+	defDenseTables     atomic.Bool
+	defDenseForwarding atomic.Bool
+	defTimerWheel      atomic.Bool
+	defPooling         atomic.Bool
+	defBurstSize       atomic.Int64
+)
+
+func init() {
+	defDenseTables.Store(true)
+	defDenseForwarding.Store(true)
+	defTimerWheel.Store(true)
+	defPooling.Store(true)
+	defBurstSize.Store(DefaultBurstSize)
+}
+
+// DefaultOptions returns the process-wide default engine configuration:
+// everything on, BurstSize = DefaultBurstSize, unless a deprecated shim
+// changed a default.
+func DefaultOptions() Options {
+	return Options{
+		DenseTables:     defDenseTables.Load(),
+		DenseForwarding: defDenseForwarding.Load(),
+		TimerWheel:      defTimerWheel.Load(),
+		Pooling:         defPooling.Load(),
+		BurstSize:       int(defBurstSize.Load()),
+	}
+}
+
+// SetDefaultOptions applies opts to the process-wide defaults consulted by
+// NewEngine (and by the few package-level call sites with no engine in
+// reach, like packet.Get), returning the previous defaults. It exists for
+// the deprecated Set* shims; new code should pass Options to NewEngine or
+// NewCluster instead.
+func SetDefaultOptions(opts ...Option) Options {
+	prev := DefaultOptions()
+	next := prev
+	for _, f := range opts {
+		f(&next)
+	}
+	defDenseTables.Store(next.DenseTables)
+	defDenseForwarding.Store(next.DenseForwarding)
+	defTimerWheel.Store(next.TimerWheel)
+	defPooling.Store(next.Pooling)
+	defBurstSize.Store(int64(next.BurstSize))
+	return prev
+}

@@ -1,0 +1,132 @@
+package sim
+
+import "testing"
+
+func TestDefaultOptionsEverythingOn(t *testing.T) {
+	o := DefaultOptions()
+	if !o.DenseTables || !o.DenseForwarding || !o.TimerWheel || !o.Pooling {
+		t.Fatalf("defaults not all on: %+v", o)
+	}
+	if o.BurstSize != DefaultBurstSize {
+		t.Fatalf("default BurstSize = %d, want %d", o.BurstSize, DefaultBurstSize)
+	}
+}
+
+func TestSetDefaultOptionsReturnsPrevious(t *testing.T) {
+	prev := SetDefaultOptions(WithTimerWheel(false), WithBurstSize(7))
+	defer SetDefaultOptions(WithTimerWheel(prev.TimerWheel), WithBurstSize(prev.BurstSize))
+	if o := DefaultOptions(); o.TimerWheel || o.BurstSize != 7 {
+		t.Fatalf("defaults after set: %+v", o)
+	}
+	restored := SetDefaultOptions(WithTimerWheel(prev.TimerWheel), WithBurstSize(prev.BurstSize))
+	if restored.TimerWheel || restored.BurstSize != 7 {
+		t.Fatalf("second set returned %+v, want the values the first set installed", restored)
+	}
+}
+
+func TestNewEngineCapturesOptionsAtConstruction(t *testing.T) {
+	e := NewEngine(WithTimerWheel(false), WithBurstSize(3), WithPooling(false))
+	o := e.Options()
+	if o.TimerWheel || o.Pooling || o.BurstSize != 3 {
+		t.Fatalf("engine options = %+v", o)
+	}
+	if e.wheel != nil {
+		t.Fatal("wheel lane built despite WithTimerWheel(false)")
+	}
+	// An engine snapshots the defaults when built; later default flips are
+	// invisible to it.
+	e2 := NewEngine()
+	prev := SetDefaultOptions(WithBurstSize(1))
+	defer SetDefaultOptions(WithBurstSize(prev.BurstSize))
+	if e2.Options().BurstSize != prev.BurstSize {
+		t.Fatalf("live engine saw a default flip: BurstSize = %d", e2.Options().BurstSize)
+	}
+}
+
+func TestWithBurstSizeClampsNegative(t *testing.T) {
+	e := NewEngine(WithBurstSize(-5))
+	if got := e.Options().BurstSize; got != 0 {
+		t.Fatalf("BurstSize = %d after WithBurstSize(-5), want 0", got)
+	}
+}
+
+// TestReserveOrdMatchesAtOrdered pins the burst protocol's ordering
+// contract: a ReserveOrd/ScheduleReserved pair must file an event under
+// exactly the key AtOrdered would have drawn at the same logical point, so
+// same-instant events interleave identically on both paths.
+func TestReserveOrdMatchesAtOrdered(t *testing.T) {
+	run := func(reserved bool) []string {
+		e := NewEngine()
+		var order []string
+		e.AtOrdered(2, 10, func(any) { order = append(order, "a") }, nil)
+		if reserved {
+			ord := e.ReserveOrd(1)
+			e.ScheduleReserved(10, ord, func(any) { order = append(order, "b") }, nil)
+		} else {
+			e.AtOrdered(1, 10, func(any) { order = append(order, "b") }, nil)
+		}
+		e.AtOrdered(1, 10, func(any) { order = append(order, "c") }, nil)
+		e.Run()
+		return order
+	}
+	want := run(false)
+	got := run(true)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v via ScheduleReserved, want %v (the AtOrdered order)", got, want)
+		}
+	}
+}
+
+// TestInlineRunnableGates exercises the inline-eligibility predicate
+// directly: no bounded dispatch, a deadline bound, an earlier heap event,
+// and an earlier wheel timer must each defeat inlining.
+func TestInlineRunnableGates(t *testing.T) {
+	e := NewEngine()
+	ord := e.ReserveOrd(1)
+	if e.InlineRunnable(10, ord) {
+		t.Fatal("inline allowed outside bounded dispatch")
+	}
+	e.deadline = 100
+	if !e.InlineRunnable(10, ord) {
+		t.Fatal("inline refused with nothing else pending")
+	}
+	if e.InlineRunnable(101, ord) {
+		t.Fatal("inline allowed past the dispatch deadline")
+	}
+	e.At(5, func() {})
+	if e.InlineRunnable(10, ord) {
+		t.Fatal("inline allowed ahead of an earlier heap event")
+	}
+	e.deadline = 0
+	e.Run()
+
+	e2 := NewEngine()
+	tm := e2.NewTimer(func() {})
+	tm.Arm(7)
+	e2.deadline = 100
+	if e2.InlineRunnable(10, e2.ReserveOrd(1)) {
+		t.Fatal("inline allowed ahead of an earlier wheel timer")
+	}
+	tm.Disarm()
+	if !e2.InlineRunnable(10, e2.ReserveOrd(1)) {
+		t.Fatal("inline refused after the only timer was disarmed")
+	}
+	e2.deadline = 0
+}
+
+// TestAdvanceInlineCountsAndMovesClock checks the inline bookkeeping the
+// benchcore events/packet metric is built on.
+func TestAdvanceInlineCountsAndMovesClock(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceInline(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %v after AdvanceInline(42)", e.Now())
+	}
+	if s := e.Stats(); s.Inlined != 1 {
+		t.Fatalf("Inlined = %d, want 1", s.Inlined)
+	}
+}

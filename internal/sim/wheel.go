@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"math/bits"
-	"sync/atomic"
-)
+import "math/bits"
 
 // The timer lane. Timer-class events — RTO re-arms, pacing gates, CBR and
 // token-bucket ticks, periodic controller loops — are overwhelmingly
@@ -42,17 +39,16 @@ const (
 	wheelLevels = 7              // 64^7 ns ≈ 73 simulated minutes of span
 )
 
-// timerWheelEnabled gates the wheel lane for engines created afterwards
-// (the fingerprint tests flip it to prove lane equivalence; defaults on).
-var timerWheelEnabled atomic.Bool
-
-func init() { timerWheelEnabled.Store(true) }
-
-// SetTimerWheel enables or disables the wheel timer lane for engines
-// created afterwards, returning the previous setting. With the wheel off,
+// SetTimerWheel enables or disables the wheel timer lane in the process
+// default options, returning the previous setting. With the wheel off,
 // Timer handles fall back to heap events (Reschedule/Cancel), which is the
 // reference ordering the wheel must reproduce byte-identically.
-func SetTimerWheel(on bool) bool { return timerWheelEnabled.Swap(on) }
+//
+// Deprecated: pass WithTimerWheel to NewEngine (or NewCluster) instead;
+// this shim only changes the default for engines constructed afterwards.
+func SetTimerWheel(on bool) bool {
+	return SetDefaultOptions(WithTimerWheel(on)).TimerWheel
+}
 
 // Timer is a cancellable, re-armable timer handle on the engine's wheel
 // lane. Create one with Engine.NewTimer, then Arm/Rearm and Disarm it
@@ -183,8 +179,28 @@ type timerWheel struct {
 // moment they empty.
 type wheelLevel struct {
 	occupied uint64
+	ready    bool // slot slices carved from the arena (first place at this level)
 	liveIn   [wheelSlots]uint32
 	slots    [wheelSlots][]*Timer
+}
+
+// slotChunk is the initial capacity carved out for each slot slice. Steady
+// state rarely holds more than a handful of timers per exact slot; a slot
+// that outgrows its chunk just grows off-arena through append, once.
+const slotChunk = 8
+
+// initSlots carves one arena allocation into 64 zero-length, slotChunk-cap
+// slot slices. Without this, a fresh engine's first pass through a level
+// paid one allocation per touched slot (up to 64 per level) as each nil
+// slice grew through append — measurable across benchmark runs that build
+// thousands of short-lived engines. The capacity survives for the life of
+// the engine: remove and advance reset slots with [:0], never to nil.
+func (lv *wheelLevel) initSlots() {
+	arena := make([]*Timer, wheelSlots*slotChunk)
+	for s := range lv.slots {
+		lv.slots[s] = arena[s*slotChunk : s*slotChunk : (s+1)*slotChunk]
+	}
+	lv.ready = true
 }
 
 func newTimerWheel() *timerWheel { return &timerWheel{} }
@@ -217,6 +233,9 @@ func (w *timerWheel) place(t *Timer) {
 		return
 	}
 	lv := &w.levels[l]
+	if !lv.ready {
+		lv.initSlots()
+	}
 	s := int32(t.at>>(wheelBits*l)) & (wheelSlots - 1)
 	t.level = int32(l)
 	t.slot = s
@@ -338,8 +357,14 @@ func (w *timerWheel) advance(now Time) {
 // time order within a level) holds and the answer is the first live entry
 // of the first occupied slot of the lowest occupied level.
 func (w *timerWheel) peek(now Time) (heapKey, *Timer) {
-	w.advance(now)
 	if w.min == nil {
+		// The slot scan below needs cascades current; syncing only here —
+		// not on the cache-hit path — keeps the per-dispatch merge (and the
+		// burst probe) at one pointer read. Cascading re-files timers but
+		// never changes which one is earliest, so a cached minimum stays
+		// valid however far the wheel clock trails. Arm syncs before
+		// placing, so entries are always filed against a current clock.
+		w.advance(now)
 		w.recomputeMin()
 	}
 	return heapKey{at: w.min.at, seq: w.min.ord}, w.min

@@ -6,13 +6,6 @@ import (
 	"testing/quick"
 )
 
-// withWheel runs f with the wheel gate set and restores the previous value.
-func withWheel(on bool, f func()) {
-	prev := SetTimerWheel(on)
-	defer SetTimerWheel(prev)
-	f()
-}
-
 func TestTimerFiresAtArmedInstant(t *testing.T) {
 	e := NewEngine()
 	var fired []Time
@@ -39,21 +32,19 @@ func TestTimerSameInstantOrdersWithHeapEvents(t *testing.T) {
 	// choice is invisible. This is the ordering the wheel-off fallback (and
 	// the pre-wheel engine) produces.
 	for _, wheel := range []bool{true, false} {
-		withWheel(wheel, func() {
-			e := NewEngine()
-			var order []string
-			e.At(20, func() { order = append(order, "a") })
-			tm := e.NewTimer(func() { order = append(order, "timer") })
-			tm.Arm(20)
-			e.At(20, func() { order = append(order, "b") })
-			e.Run()
-			want := []string{"a", "timer", "b"}
-			for i := range want {
-				if i >= len(order) || order[i] != want[i] {
-					t.Fatalf("wheel=%v: order = %v, want %v", wheel, order, want)
-				}
+		e := NewEngine(WithTimerWheel(wheel))
+		var order []string
+		e.At(20, func() { order = append(order, "a") })
+		tm := e.NewTimer(func() { order = append(order, "timer") })
+		tm.Arm(20)
+		e.At(20, func() { order = append(order, "b") })
+		e.Run()
+		want := []string{"a", "timer", "b"}
+		for i := range want {
+			if i >= len(order) || order[i] != want[i] {
+				t.Fatalf("wheel=%v: order = %v, want %v", wheel, order, want)
 			}
-		})
+		}
 	}
 }
 
@@ -295,43 +286,41 @@ func TestTimerRearmAllocationFree(t *testing.T) {
 func TestWheelMatchesHeapReference(t *testing.T) {
 	run := func(wheel bool, seed int64) []Time {
 		var trace []Time
-		withWheel(wheel, func() {
-			rng := rand.New(rand.NewSource(seed))
-			e := NewEngine()
-			const n = 40
-			timers := make([]*Timer, n)
-			record := func() { trace = append(trace, e.Now()) }
-			for i := range timers {
-				timers[i] = e.NewTimer(record)
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(WithTimerWheel(wheel))
+		const n = 40
+		timers := make([]*Timer, n)
+		record := func() { trace = append(trace, e.Now()) }
+		for i := range timers {
+			timers[i] = e.NewTimer(record)
+		}
+		var step func()
+		steps := 0
+		step = func() {
+			trace = append(trace, -e.Now()) // mark driver ticks distinctly
+			if steps++; steps > 400 {
+				return
 			}
-			var step func()
-			steps := 0
-			step = func() {
-				trace = append(trace, -e.Now()) // mark driver ticks distinctly
-				if steps++; steps > 400 {
-					return
+			// The churn is deterministic per seed: arm, rearm, disarm a
+			// few timers, sprinkle heap events, and keep the clock moving.
+			for k := 0; k < 4; k++ {
+				tm := timers[rng.Intn(n)]
+				switch rng.Intn(3) {
+				case 0:
+					tm.ArmAfter(Time(rng.Intn(200_000)))
+				case 1:
+					tm.Disarm()
+				case 2:
+					tm.RearmAfter(Time(rng.Intn(5_000_000)))
 				}
-				// The churn is deterministic per seed: arm, rearm, disarm a
-				// few timers, sprinkle heap events, and keep the clock moving.
-				for k := 0; k < 4; k++ {
-					tm := timers[rng.Intn(n)]
-					switch rng.Intn(3) {
-					case 0:
-						tm.ArmAfter(Time(rng.Intn(200_000)))
-					case 1:
-						tm.Disarm()
-					case 2:
-						tm.RearmAfter(Time(rng.Intn(5_000_000)))
-					}
-				}
-				if rng.Intn(3) == 0 {
-					e.After(Time(rng.Intn(1000)), record)
-				}
-				e.After(Time(1+rng.Intn(30_000)), step)
 			}
-			e.After(0, step)
-			e.RunUntil(5 * Millisecond)
-		})
+			if rng.Intn(3) == 0 {
+				e.After(Time(rng.Intn(1000)), record)
+			}
+			e.After(Time(1+rng.Intn(30_000)), step)
+		}
+		e.After(0, step)
+		e.RunUntil(5 * Millisecond)
 		return trace
 	}
 	for seed := int64(1); seed <= 20; seed++ {

@@ -34,45 +34,59 @@ func TestFlowHashSpreadsConsecutiveFlows(t *testing.T) {
 
 // TestDenseECMPMatchesMapPath pins the dense forwarding table to the map
 // path it replaces: for every (dst, flow), the slice-indexed lookup must
-// resolve the identical pipe — exact-route precedence included.
+// resolve the identical port — exact-route precedence included. The layout
+// is an engine option fixed at construction, so the test builds one switch
+// per layout with identical routes and compares the chosen port indices.
 func TestDenseECMPMatchesMapPath(t *testing.T) {
-	defer SetDenseForwarding(true)
-	eng := sim.NewEngine()
-	sw := NewSwitch(eng, "ecmp")
-	sink := &collector{eng: eng}
-	for i := 0; i < 4; i++ {
-		sw.AddPort(NewPipe(eng, units.Gbps, 0, 0, 0, sink))
+	build := func(dense bool) *Switch {
+		eng := sim.NewEngine(sim.WithDenseForwarding(dense))
+		sw := NewSwitch(eng, "ecmp")
+		sink := &collector{eng: eng}
+		for i := 0; i < 4; i++ {
+			sw.AddPort(NewPipe(eng, units.Gbps, 0, 0, 0, sink))
+		}
+		sw.AddECMPRoute(1, 0, 1, 2, 3)
+		sw.AddECMPRoute(2, 2, 3)
+		sw.AddRoute(2, 0) // exact route shadows dst 2's group on both paths
+		sw.AddRoute(3, 1)
+		return sw
 	}
-	sw.AddECMPRoute(1, 0, 1, 2, 3)
-	sw.AddECMPRoute(2, 2, 3)
-	sw.AddRoute(2, 0) // exact route shadows dst 2's group on both paths
-	sw.AddRoute(3, 1)
+	portIndex := func(sw *Switch, p *Pipe) int {
+		if p == nil {
+			return -1
+		}
+		for i, q := range sw.ports {
+			if q == p {
+				return i
+			}
+		}
+		t.Fatal("outPipe returned a pipe that is not a port")
+		return -2
+	}
 
+	dsw := build(true)
+	msw := build(false)
 	for dst := packet.HostID(1); dst <= 4; dst++ {
 		for f := 0; f < 512; f++ {
 			p := &packet.Packet{Dst: dst, Flow: packet.FlowID(f)}
 
-			SetDenseForwarding(true)
-			sw.fwdDirty = true
-			dense := sw.outPipe(p)
-			if sw.fwd == nil {
+			dense := portIndex(dsw, dsw.outPipe(p))
+			if dsw.fwd == nil {
 				t.Fatal("dense forwarding table not built for a dense topology")
 			}
 
-			SetDenseForwarding(false)
-			sw.fwdDirty = true
-			mapped := sw.outPipe(p)
-			if sw.fwd != nil {
+			mapped := portIndex(msw, msw.outPipe(p))
+			if msw.fwd != nil {
 				t.Fatal("map path still using the dense table")
 			}
 
 			if dense != mapped {
-				t.Fatalf("dst %d flow %d: dense picked %p, map picked %p", dst, f, dense, mapped)
+				t.Fatalf("dst %d flow %d: dense picked port %d, map picked port %d", dst, f, dense, mapped)
 			}
-			if dst == 4 && dense != nil {
+			if dst == 4 && dense != -1 {
 				t.Fatalf("dst 4 has no route but resolved a pipe")
 			}
-			if dst == 2 && dense != sw.ports[0] {
+			if dst == 2 && dense != 0 {
 				t.Fatalf("exact route for dst 2 did not shadow its ECMP group")
 			}
 		}

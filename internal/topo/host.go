@@ -51,9 +51,11 @@ type Host struct {
 	// per engine; per host the range stays tight enough for a flat slice
 	// until flows churn far past the live set, at which point ident.Dense
 	// rejects the layout and lookups fall back to the map. Rebuilt lazily
-	// (dirty) so registration bursts at setup cost one rebuild.
-	dense []FlowHandler
-	dirty bool
+	// (dirty) so registration bursts at setup cost one rebuild. denseOK
+	// permits the layout, fixed at construction from the engine options.
+	dense   []FlowHandler
+	dirty   bool
+	denseOK bool
 
 	// Filter, when non-nil, intercepts outbound packets (see SendFilter).
 	Filter SendFilter
@@ -83,7 +85,21 @@ func NewHost(eng *sim.Engine, id packet.HostID) *Host {
 		id:       id,
 		flowSeq:  eng.SeqDomain("transport.flow"),
 		handlers: make(map[packet.FlowID]FlowHandler),
+		denseOK:  eng.Options().DenseForwarding,
 	}
+}
+
+// HostStats is a snapshot of the host's delivery counters, following the
+// repo-wide stats convention (value type, no locks held).
+type HostStats struct {
+	RxPackets uint64 `json:"rx_packets"`
+	RxBytes   uint64 `json:"rx_bytes"`
+	Orphans   uint64 `json:"orphans"`
+}
+
+// Stats returns a snapshot of the delivery counters.
+func (h *Host) Stats() HostStats {
+	return HostStats{RxPackets: h.RxPackets, RxBytes: h.RxBytes, Orphans: h.Orphans}
 }
 
 // SetFlowIDStride switches the host to partition-invariant flow-ID
@@ -144,7 +160,7 @@ func (h *Host) Unregister(id packet.FlowID) {
 func (h *Host) rebuildDispatch() {
 	h.dirty = false
 	h.dense = nil
-	if !denseForwarding.Load() {
+	if !h.denseOK {
 		return
 	}
 	maxID := -1

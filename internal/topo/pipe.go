@@ -19,6 +19,21 @@ type Receiver interface {
 	Receive(p *packet.Packet)
 }
 
+// probeCap bounds the adaptive probe backoff: in steady interleaved traffic
+// a pipe probes roughly one delivery in 16, which keeps the probe cost in
+// the noise while still noticing a drainable run within a dozen deliveries.
+const probeCap = 15
+
+// burstReceiver is implemented by receivers that can amortize per-packet
+// work across a delivery burst (the Switch binds its table cursors in
+// BeginBurst and flushes them in EndBurst). Brackets never nest: a Receive
+// never synchronously triggers another pipe's deliver — onward hops always
+// go through the engine as events.
+type burstReceiver interface {
+	BeginBurst()
+	EndBurst()
+}
+
 // Pipe is one direction of a link: a FIFO egress buffer drained by a
 // transmitter at the link rate, followed by a fixed propagation delay.
 type Pipe struct {
@@ -81,6 +96,23 @@ type Pipe struct {
 	inflight      deliveryRing
 	deliveryArmed bool
 
+	// burstMax caps how many chained deliveries one engine event may drain
+	// inline (from the engine's BurstSize option; 0 disables bursting), and
+	// bdst is dst's burst bracket when it has one.
+	burstMax int
+	bdst     burstReceiver
+
+	// probeSkip/probeBackoff implement adaptive burst probing. In
+	// closed-loop traffic other pipes' events interleave every gap, so the
+	// inline probe (InlineRunnable) almost never passes — and a failed
+	// probe costs about what an elided event saves. After a failure the
+	// pipe schedules the next probeSkip deliveries directly (the event keys
+	// are identical either way, so this is invisible to determinism) with
+	// the skip doubling up to probeCap; one success resets to eager, so a
+	// back-to-back drain run pays the probe only on its first delivery.
+	probeSkip    int
+	probeBackoff int
+
 	// DelayHook, when set, observes the physical queuing delay of every
 	// packet at dequeue time (excludes serialization and propagation).
 	DelayHook func(d sim.Time, p *packet.Packet)
@@ -113,17 +145,32 @@ func newPipeWithAQMSeq(eng *sim.Engine, rate units.BitRate, delay sim.Time, queu
 	q := queue.New(queueLimit, ecnThreshold)
 	q.SetAQMSeed(0xA11CE + aqmSeq*0x5bd1e995)
 	p := &Pipe{
-		eng:   eng,
-		pool:  packet.PoolFor(eng),
-		rate:  rate,
-		delay: delay,
-		q:     q,
-		fq:    q,
-		dst:   dst,
+		eng:      eng,
+		pool:     packet.PoolFor(eng),
+		rate:     rate,
+		delay:    delay,
+		q:        q,
+		fq:       q,
+		dst:      dst,
+		burstMax: eng.Options().BurstSize,
 	}
+	p.bdst, _ = dst.(burstReceiver)
 	p.txDoneFn = func(x any) { p.txDone(x.(*packet.Packet)) }
 	p.deliverFn = func(x any) { p.deliver(x.(*packet.Packet)) }
 	return p
+}
+
+// PipeStats is a snapshot of the pipe's wire counters and egress backlog,
+// following the repo-wide stats convention (value type, no locks held).
+type PipeStats struct {
+	TxPackets uint64 `json:"tx_packets"`
+	TxBytes   uint64 `json:"tx_bytes"`
+	Backlog   int    `json:"backlog_bytes"`
+}
+
+// Stats returns a snapshot of the wire counters and current backlog.
+func (p *Pipe) Stats() PipeStats {
+	return PipeStats{TxPackets: p.TxPackets, TxBytes: p.TxBytes, Backlog: p.Backlog()}
 }
 
 // SetLane assigns the pipe's ordering lane. Cluster builders give every
@@ -242,15 +289,22 @@ func (p *Pipe) Send(pkt *packet.Packet) {
 
 // drainStarted retires queue entries whose serialization has begun, so the
 // FIFO's occupancy reflects only packets still waiting — the same set the
-// event-driven transmitter would be holding.
+// event-driven transmitter would be holding. The whole run of due entries
+// is retired in one FIFO transaction (PopDrainedN), so a burst's worth of
+// departures costs one accounting update instead of one per packet.
 func (p *Pipe) drainStarted(now sim.Time) {
+	n, bytes := 0, 0
 	for {
 		at, size, ok := p.started.peek()
 		if !ok || at > now {
-			return
+			break
 		}
 		p.started.pop()
-		p.fq.PopDrained(size)
+		n++
+		bytes += size
+	}
+	if n > 0 {
+		p.fq.PopDrainedN(n, bytes)
 	}
 }
 
@@ -319,16 +373,82 @@ func (p *Pipe) planDelivery(end sim.Time, pkt *packet.Packet) {
 	}
 }
 
-// deliver hands the head packet to the destination and arms the next
-// planned delivery, if any. Arming precedes Receive so the chain's event
-// schedule is independent of whatever the receiver does.
+// deliver hands the head packet to the destination and continues the
+// delivery chain. With bursting off, the next planned delivery is armed as
+// an engine event before Receive runs, so the chain's event schedule is
+// independent of whatever the receiver does.
+//
+// With bursting on, one engine event drains a whole back-to-back run: the
+// next delivery's ordering word is reserved at exactly the point the
+// per-packet path would arm it, and — after Receive, so anything the
+// receiver scheduled gets its say — the delivery runs inline when the
+// engine proves nothing else precedes it (sim.Engine.InlineRunnable).
+// Every elided event carries the key it would have carried, so burst
+// boundaries can never reorder same-instant deliveries relative to the
+// per-packet path; the fingerprint gates hold this across the sweep.
 func (p *Pipe) deliver(pkt *packet.Packet) {
-	if next, at, ok := p.inflight.pop(); ok {
-		p.eng.AtOrdered(p.lane, at, p.deliverFn, next)
-	} else {
+	next, at, ok := p.inflight.pop()
+	if !ok {
 		p.deliveryArmed = false
+		p.dst.Receive(pkt)
+		return
 	}
+	if p.burstMax <= 1 {
+		p.eng.AtOrdered(p.lane, at, p.deliverFn, next)
+		p.dst.Receive(pkt)
+		return
+	}
+	ord := p.eng.ReserveOrd(p.lane)
 	p.dst.Receive(pkt)
+	if p.probeSkip > 0 {
+		p.probeSkip--
+		p.eng.ScheduleReserved(at, ord, p.deliverFn, next)
+		return
+	}
+	if !p.eng.InlineRunnable(at, ord) {
+		// No burst forms: the chain re-arms exactly as the per-packet path
+		// would, and the receiver's cursor bracket is never opened — a
+		// singleton delivery pays nothing for burst mode. Only an
+		// interleave defeat feeds the backoff; a window truncation says
+		// nothing about the next window's traffic.
+		if !p.eng.InlineTruncated(at) {
+			if p.probeBackoff < probeCap {
+				p.probeBackoff = p.probeBackoff*2 + 1
+			}
+			p.probeSkip = p.probeBackoff
+		}
+		p.eng.ScheduleReserved(at, ord, p.deliverFn, next)
+		return
+	}
+	p.probeBackoff = 0
+	// A burst formed. Bracket the rest of the run so the receiver can
+	// memoize table lookups and batch its counter flushes; packet 1 ran
+	// unbracketed, which is unobservable (the bracket is pure memoization).
+	if p.bdst != nil {
+		p.bdst.BeginBurst()
+	}
+	p.eng.AdvanceInline(at)
+	pkt = next
+	for n := 2; ; n++ {
+		next, at, ok = p.inflight.pop()
+		if !ok {
+			p.deliveryArmed = false
+			p.dst.Receive(pkt)
+			break
+		}
+		ord = p.eng.ReserveOrd(p.lane)
+		p.dst.Receive(pkt)
+		if n < p.burstMax && p.eng.InlineRunnable(at, ord) {
+			p.eng.AdvanceInline(at)
+			pkt = next
+			continue
+		}
+		p.eng.ScheduleReserved(at, ord, p.deliverFn, next)
+		break
+	}
+	if p.bdst != nil {
+		p.bdst.EndBurst()
+	}
 }
 
 // deliveryRing is a growable circular buffer of (deliver-at, packet) pairs.

@@ -2,7 +2,6 @@ package topo
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"aqueue/internal/core"
 	"aqueue/internal/ident"
@@ -11,18 +10,15 @@ import (
 	"aqueue/internal/trace"
 )
 
-// denseForwarding gates the direct-indexed forwarding tables of switches
-// and the dense flow dispatch of hosts. Consulted only when a table is
-// rebuilt after a membership change, never per packet. On by default; the
-// fingerprint property tests flip it off to prove the map paths are
-// byte-identical.
-var denseForwarding atomic.Bool
-
-func init() { denseForwarding.Store(true) }
-
-// SetDenseForwarding enables or disables the dense forwarding layout for
-// tables (re)built afterwards, returning the previous setting.
-func SetDenseForwarding(on bool) bool { return denseForwarding.Swap(on) }
+// SetDenseForwarding enables or disables the dense forwarding layout in the
+// process default options, returning the previous setting.
+//
+// Deprecated: pass sim.WithDenseForwarding to sim.NewEngine (or
+// sim.NewCluster); this shim only changes the default captured by switches
+// and hosts constructed afterwards.
+func SetDenseForwarding(on bool) bool {
+	return sim.SetDefaultOptions(sim.WithDenseForwarding(on)).DenseForwarding
+}
 
 // Switch is a store-and-forward switch with per-destination routing and the
 // two AQ match points of §4.2: the ingress pipeline (matched on the
@@ -45,8 +41,18 @@ type Switch struct {
 	// the resolved ECMP pipe group), so the common hop touches no map and
 	// no s.ports indirection. Rebuilt lazily (fwdDirty) after route
 	// changes; ident.Dense decides whether the host-ID range justifies it.
+	// denseFwd permits the layout, fixed at construction from the engine
+	// options.
 	fwd      []fwdEntry
 	fwdDirty bool
+	denseFwd bool
+
+	// bursting is true between BeginBurst and EndBurst: Receive then runs
+	// the AQ pipelines through the table cursors, which memoize the last
+	// entity's lookup and batch counter updates for the whole burst.
+	bursting bool
+	inCur    core.BurstCursor
+	egCur    core.BurstCursor
 
 	// Ingress and Egress are the AQ tables for the two pipeline positions.
 	Ingress *core.Table
@@ -68,16 +74,19 @@ type Switch struct {
 	AQBypassed uint64
 }
 
-// NewSwitch returns an empty switch.
+// NewSwitch returns an empty switch, with the dense layouts of its AQ
+// tables and forwarding table taken from the engine's options.
 func NewSwitch(eng *sim.Engine, name string) *Switch {
+	o := eng.Options()
 	return &Switch{
-		eng:     eng,
-		pool:    packet.PoolFor(eng),
-		name:    name,
-		routes:  make(map[packet.HostID]int),
-		ecmp:    make(map[packet.HostID][]int),
-		Ingress: core.NewTable(),
-		Egress:  core.NewTable(),
+		eng:      eng,
+		pool:     packet.PoolFor(eng),
+		name:     name,
+		routes:   make(map[packet.HostID]int),
+		ecmp:     make(map[packet.HostID][]int),
+		Ingress:  core.NewTableDense(o.DenseTables),
+		Egress:   core.NewTableDense(o.DenseTables),
+		denseFwd: o.DenseForwarding,
 	}
 }
 
@@ -140,7 +149,7 @@ type fwdEntry struct {
 func (s *Switch) rebuildFwd() {
 	s.fwdDirty = false
 	s.fwd = nil
-	if !denseForwarding.Load() {
+	if !s.denseFwd {
 		return
 	}
 	maxDst, count := -1, 0
@@ -249,6 +258,18 @@ func (s *Switch) Receive(p *packet.Packet) {
 		return
 	}
 	now := s.eng.Now()
+	if s.bursting {
+		if s.inCur.Process(now, p.IngressAQ, p) == core.Drop {
+			s.aqDrop(p)
+			return
+		}
+		if s.egCur.Process(now, p.EgressAQ, p) == core.Drop {
+			s.aqDrop(p)
+			return
+		}
+		out.Send(p)
+		return
+	}
 	if s.Ingress.Process(now, p.IngressAQ, p) == core.Drop {
 		s.aqDrop(p)
 		return
@@ -258,6 +279,44 @@ func (s *Switch) Receive(p *packet.Packet) {
 		return
 	}
 	out.Send(p)
+}
+
+// BeginBurst brackets a delivery burst from one ingress pipe: the AQ
+// pipelines run through per-burst table cursors that coalesce same-entity
+// lookups and counter updates into one transaction each (core.BurstCursor).
+// Verdicts are byte-identical to the per-packet path.
+func (s *Switch) BeginBurst() {
+	s.inCur.Bind(s.Ingress)
+	s.egCur.Bind(s.Egress)
+	s.bursting = true
+}
+
+// EndBurst closes the bracket, flushing the cursors' batched counts into
+// the tables' atomic counters.
+func (s *Switch) EndBurst() {
+	s.inCur.Flush()
+	s.egCur.Flush()
+	s.bursting = false
+}
+
+// SwitchStats is a snapshot of the switch's data-plane counters, following
+// the repo-wide stats convention (value type, no locks held). The AQ
+// tables keep their own TableStats.
+type SwitchStats struct {
+	RxPackets  uint64 `json:"rx_packets"`
+	AQDrops    uint64 `json:"aq_drops"`
+	RouteMiss  uint64 `json:"route_miss"`
+	AQBypassed uint64 `json:"aq_bypassed"`
+}
+
+// Stats returns a snapshot of the forwarding counters.
+func (s *Switch) Stats() SwitchStats {
+	return SwitchStats{
+		RxPackets:  s.RxPackets,
+		AQDrops:    s.AQDrops,
+		RouteMiss:  s.RouteMiss,
+		AQBypassed: s.AQBypassed,
+	}
 }
 
 // aqDrop accounts an AQ-pipeline drop and releases the packet: the switch

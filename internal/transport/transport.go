@@ -58,8 +58,8 @@ const (
 	rwndBytes = 2 * 1000 * 1000
 )
 
-// Scoreboard segment states. Absence from the map means "sent and presumed
-// in flight" for sequences in [cumAck, nextSeq).
+// Scoreboard segment states. A zero entry means "sent and presumed in
+// flight" for sequences in [cumAck, nextSeq).
 const (
 	stSacked uint8 = iota + 1 // acknowledged out of order
 	stLost                    // presumed lost, queued for retransmission
@@ -87,8 +87,15 @@ type Sender struct {
 	inRecovery bool
 	recoverSeq int64
 
-	// SACK scoreboard.
-	state    map[int64]uint8
+	// SACK scoreboard: per-segment states for [sbBase, sbBase+len(sb)*MSS),
+	// kept in a power-of-two ring indexed by segment offset. Every ACK
+	// touches the scoreboard two or three times even on a clean path, so
+	// this is a ring of bytes rather than a map — no hashing, no buckets.
+	// sbBase advances by whole segments as cumAck moves (sbGet treats
+	// anything below it as absent, which matches the deleted map entries).
+	sb       []uint8
+	sbBase   int64
+	sbHead   int
 	rtxQ     []int64
 	pipe     int   // segments believed to be in the network
 	lossScan int64 // sequences below this are classified
@@ -140,16 +147,15 @@ func NewSender(src, dst *topo.Host, size int64, alg cc.Algorithm, opt Options) *
 		opt.RTOMin = defaultRTOMin
 	}
 	s := &Sender{
-		eng:   src.Engine(),
-		pool:  packet.PoolFor(src.Engine()),
-		src:   src,
-		dst:   dst,
-		flow:  src.NextFlowID(),
-		alg:   alg,
-		opt:   opt,
-		size:  size,
-		rto:   10 * sim.Millisecond,
-		state: make(map[int64]uint8),
+		eng:  src.Engine(),
+		pool: packet.PoolFor(src.Engine()),
+		src:  src,
+		dst:  dst,
+		flow: src.NextFlowID(),
+		alg:  alg,
+		opt:  opt,
+		size: size,
+		rto:  10 * sim.Millisecond,
 	}
 	s.trySendFn = s.trySend
 	// All three flow timers live on the engine's wheel lane: re-arming on
@@ -295,13 +301,71 @@ func (s *Sender) paceDelay(sizeBytes int, w float64) sim.Time {
 	return sim.Time(float64(sizeBytes) / rate)
 }
 
+// sbGet returns the scoreboard state for seq, or 0 ("in flight / absent")
+// when seq lies outside the tracked window. Callers only ever ask about
+// seq >= cumAck >= sbBase, so a below-window seq reads as absent exactly
+// like a deleted map entry would.
+func (s *Sender) sbGet(seq int64) uint8 {
+	off := (seq - s.sbBase) / int64(s.opt.MSS)
+	if off < 0 || off >= int64(len(s.sb)) {
+		return 0
+	}
+	return s.sb[(s.sbHead+int(off))&(len(s.sb)-1)]
+}
+
+// sbSet records the scoreboard state for seq, growing the ring to cover it.
+func (s *Sender) sbSet(seq int64, v uint8) {
+	off := (seq - s.sbBase) / int64(s.opt.MSS)
+	for off >= int64(len(s.sb)) {
+		s.sbGrow()
+	}
+	s.sb[(s.sbHead+int(off))&(len(s.sb)-1)] = v
+}
+
+func (s *Sender) sbGrow() {
+	n := len(s.sb) * 2
+	if n == 0 {
+		n = 64
+	}
+	buf := make([]uint8, n)
+	for i := 0; i < len(s.sb); i++ {
+		buf[i] = s.sb[(s.sbHead+i)&(len(s.sb)-1)]
+	}
+	s.sb = buf
+	s.sbHead = 0
+}
+
+// sbAdvance slides the window start up to newBase, clearing vacated slots.
+// The base only moves by whole segments (rounding the last, possibly
+// partial, segment up) so segment offsets stay grid-aligned.
+func (s *Sender) sbAdvance(newBase int64) {
+	if newBase <= s.sbBase {
+		return
+	}
+	mss := int64(s.opt.MSS)
+	n := (newBase - s.sbBase + mss - 1) / mss
+	if n >= int64(len(s.sb)) {
+		for i := range s.sb {
+			s.sb[i] = 0
+		}
+		s.sbHead = 0
+	} else {
+		mask := len(s.sb) - 1
+		for i := int64(0); i < n; i++ {
+			s.sb[s.sbHead] = 0
+			s.sbHead = (s.sbHead + 1) & mask
+		}
+	}
+	s.sbBase += n * mss
+}
+
 // popRtx returns the next scoreboard-lost segment, skipping entries that
 // have since been SACKed or cumulatively acknowledged.
 func (s *Sender) popRtx() (int64, bool) {
 	for len(s.rtxQ) > 0 {
 		seq := s.rtxQ[0]
 		s.rtxQ = s.rtxQ[1:]
-		if seq >= s.cumAck && s.state[seq] == stLost {
+		if seq >= s.cumAck && s.sbGet(seq) == stLost {
 			return seq, true
 		}
 	}
@@ -320,7 +384,7 @@ func (s *Sender) sendSegment(seq int64, retx bool) {
 	s.pipe++
 	if retx {
 		s.Retransmits++
-		s.state[seq] = stRetx
+		s.sbSet(seq, stRetx)
 		if seq == s.cumAck {
 			s.frontRetxAt = s.eng.Now()
 		}
@@ -337,12 +401,12 @@ func (s *Sender) sendSegment(seq int64, retx bool) {
 // markLost transitions an in-flight segment to lost and queues it for
 // retransmission. Idempotent.
 func (s *Sender) markLost(seq int64) {
-	st := s.state[seq]
+	st := s.sbGet(seq)
 	if st == stSacked || st == stLost {
 		return
 	}
 	// In-flight (absent) and retransmitted segments both leave the pipe.
-	s.state[seq] = stLost
+	s.sbSet(seq, stLost)
 	s.pipe--
 	if s.pipe < 0 {
 		s.pipe = 0
@@ -354,13 +418,13 @@ func (s *Sender) markLost(seq int64) {
 func (s *Sender) noteSack(p *packet.Packet) {
 	seq := p.EchoSeq
 	if seq >= s.cumAck {
-		switch s.state[seq] {
+		switch s.sbGet(seq) {
 		case stSacked:
 			// already accounted
 		case stLost:
-			s.state[seq] = stSacked // pipe already decremented
+			s.sbSet(seq, stSacked) // pipe already decremented
 		default: // in flight or retransmitted
-			s.state[seq] = stSacked
+			s.sbSet(seq, stSacked)
 			s.pipe--
 			if s.pipe < 0 {
 				s.pipe = 0
@@ -444,8 +508,8 @@ func (s *Sender) onTimeout() {
 	s.rtxQ = s.rtxQ[:0]
 	s.pipe = 0
 	for seq := s.cumAck; seq < s.nextSeq; seq += mss {
-		if s.state[seq] != stSacked {
-			s.state[seq] = stLost
+		if s.sbGet(seq) != stSacked {
+			s.sbSet(seq, stLost)
 			s.rtxQ = append(s.rtxQ, seq)
 		}
 	}
@@ -481,7 +545,7 @@ func (s *Sender) Handle(p *packet.Packet) {
 			s.FastRecovers++
 			s.alg.OnLoss(now)
 		}
-	} else if s.dupacks > dupAckThresh && s.state[s.cumAck] == stRetx {
+	} else if s.dupacks > dupAckThresh && s.sbGet(s.cumAck) == stRetx {
 		// Rescue retransmission: the front retransmission itself appears
 		// lost (duplicate ACKs keep arriving well past an RTT since it was
 		// sent). Re-mark it so recovery does not stall until the RTO.
@@ -490,7 +554,7 @@ func (s *Sender) Handle(p *packet.Packet) {
 			wait = 100 * sim.Microsecond
 		}
 		if now-s.frontRetxAt > wait {
-			s.state[s.cumAck] = 0 // force the lost transition
+			s.sbSet(s.cumAck, 0) // force the lost transition
 			s.markLost(s.cumAck)
 		}
 	}
@@ -504,11 +568,11 @@ func (s *Sender) onNewAck(now sim.Time, p *packet.Packet) {
 	for seq := s.cumAck; seq < p.Ack; seq += mss {
 		// In-flight and retransmitted segments leave the pipe; sacked and
 		// lost ones were already removed when they changed state.
-		if st := s.state[seq]; st != stSacked && st != stLost {
+		if st := s.sbGet(seq); st != stSacked && st != stLost {
 			s.pipe--
 		}
-		delete(s.state, seq)
 	}
+	s.sbAdvance(p.Ack)
 	if s.pipe < 0 {
 		s.pipe = 0
 	}

@@ -18,11 +18,12 @@ import (
 // timers) and the conceptual fig3 (strawman vs A-Gap, no transport). The
 // horizon is cut far below -quick so the -race CI pass stays fast; the
 // fingerprint comparison only needs identical runs, not converged ones.
-func lifecycleJobs(t *testing.T) []harness.Job {
+func lifecycleJobs(t *testing.T, opts ...sim.Option) []harness.Job {
 	t.Helper()
 	base := experiments.DefaultParams(true)
 	base.Horizon = 20 * sim.Millisecond
 	base.Flows = 4
+	base.Sim = opts
 	jobs, err := harness.Jobs([]string{"fig3", "fig8"}, nil, base)
 	if err != nil {
 		t.Fatal(err)
@@ -36,13 +37,8 @@ func TestPooledRunsFingerprintMatchUnpooled(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs two full experiment passes")
 	}
-	defer packet.SetPooling(true)
-
-	packet.SetPooling(true)
-	pooled := (&harness.Pool{Workers: 1}).Run(lifecycleJobs(t))
-
-	packet.SetPooling(false)
-	unpooled := (&harness.Pool{Workers: 1}).Run(lifecycleJobs(t))
+	pooled := (&harness.Pool{Workers: 1}).Run(lifecycleJobs(t, sim.WithPooling(true)))
+	unpooled := (&harness.Pool{Workers: 1}).Run(lifecycleJobs(t, sim.WithPooling(false)))
 
 	for i := range pooled {
 		pf, uf := harness.Fingerprint(pooled[i]), harness.Fingerprint(unpooled[i])

@@ -13,15 +13,67 @@ import (
 )
 
 // BenchmarkSingleBottleneckForwarding is the headline forwarding benchmark:
-// one op is a 10 ms single-bottleneck run. ns/op and allocs/op divided by
-// the pkts metric give the per-packet cost.
+// one op is a 10 ms single-bottleneck run with the default burst size.
+// ns/op and allocs/op divided by the pkts metric give the per-packet cost;
+// the events metric shows the burst amortization (events dispatched per op).
 func BenchmarkSingleBottleneckForwarding(b *testing.B) {
 	b.ReportAllocs()
-	var pkts uint64
+	var r benchcore.BottleneckResult
 	for i := 0; i < b.N; i++ {
-		pkts = benchcore.RunSingleBottleneck(10 * sim.Millisecond)
+		r = benchcore.RunSingleBottleneck(10 * sim.Millisecond)
 	}
-	b.ReportMetric(float64(pkts), "pkts")
+	b.ReportMetric(float64(r.TxPackets), "pkts")
+	b.ReportMetric(float64(r.Events), "events")
+}
+
+// BenchmarkSingleBottleneckForwardingNoBurst is the same scenario with
+// burst draining disabled — the per-packet reference path.
+func BenchmarkSingleBottleneckForwardingNoBurst(b *testing.B) {
+	b.ReportAllocs()
+	var r benchcore.BottleneckResult
+	for i := 0; i < b.N; i++ {
+		r = benchcore.RunSingleBottleneck(10*sim.Millisecond, sim.WithBurstSize(0))
+	}
+	b.ReportMetric(float64(r.TxPackets), "pkts")
+	b.ReportMetric(float64(r.Events), "events")
+}
+
+// BenchmarkDrainRun is the back-to-back departure scenario burst mode is
+// built for: one op queues 20k packets onto an idle 10 Gbps pipe at t=0
+// and drains them to a sink. With nothing else on the calendar the whole
+// drain is one long run, so events/op collapses toward pkts/burst.
+func BenchmarkDrainRun(b *testing.B) {
+	b.ReportAllocs()
+	var delivered, events uint64
+	for i := 0; i < b.N; i++ {
+		delivered, _, events, _ = benchcore.RunDrain(20_000)
+	}
+	b.ReportMetric(float64(delivered), "pkts")
+	b.ReportMetric(float64(events), "events")
+}
+
+// TestDrainRunBurstParity pins the drain scenario's two burst-mode claims:
+// the traffic is byte-identical with burst draining on and off, and the
+// burst pass dispatches well under a tenth of the per-packet pass's events.
+func TestDrainRunBurstParity(t *testing.T) {
+	const pkts = 5000
+	d, end, ev, inl := benchcore.RunDrain(pkts)
+	refD, refEnd, refEv, refInl := benchcore.RunDrain(pkts, sim.WithBurstSize(0))
+	if d != pkts || refD != pkts {
+		t.Fatalf("delivered %d burst vs %d per-packet, want %d", d, refD, pkts)
+	}
+	if end != refEnd {
+		t.Fatalf("final clock %d burst vs %d per-packet", end, refEnd)
+	}
+	if refInl != 0 {
+		t.Fatalf("burst-off pass inlined %d deliveries", refInl)
+	}
+	if ev+inl != refEv+refInl {
+		t.Fatalf("event+inline total %d burst vs %d per-packet", ev+inl, refEv+refInl)
+	}
+	if ev*10 >= refEv {
+		t.Fatalf("burst drain dispatched %d events vs %d per-packet — expected >10x cut", ev, refEv)
+	}
 }
 
 // BenchmarkEngineChurn measures the event core in isolation under the same
@@ -37,23 +89,19 @@ func BenchmarkEngineChurn(b *testing.B) {
 // dumbbell, every one in pacing/RTO churn, scheduled on the hierarchical
 // timing wheel vs forced back onto the event heap (DESIGN.md §3c).
 func BenchmarkTimerHeavyWheel(b *testing.B) {
-	defer sim.SetTimerWheel(true)
-	sim.SetTimerWheel(true)
 	b.ReportAllocs()
 	var pkts uint64
 	for i := 0; i < b.N; i++ {
-		pkts = benchcore.RunTimerHeavy(64, 20*sim.Millisecond)
+		pkts = benchcore.RunTimerHeavy(64, 20*sim.Millisecond, sim.WithTimerWheel(true))
 	}
 	b.ReportMetric(float64(pkts), "pkts")
 }
 
 func BenchmarkTimerHeavyHeap(b *testing.B) {
-	defer sim.SetTimerWheel(true)
-	sim.SetTimerWheel(false)
 	b.ReportAllocs()
 	var pkts uint64
 	for i := 0; i < b.N; i++ {
-		pkts = benchcore.RunTimerHeavy(64, 20*sim.Millisecond)
+		pkts = benchcore.RunTimerHeavy(64, 20*sim.Millisecond, sim.WithTimerWheel(false))
 	}
 	b.ReportMetric(float64(pkts), "pkts")
 }

@@ -13,13 +13,12 @@ import (
 	"aqueue/internal/sim"
 )
 
-// runWheelSweep executes the full quick sweep with the timing wheel toggled
-// as given, partitioned into the given number of domains. One worker: the
-// equivalence needs identical runs.
+// runWheelSweep executes the full quick sweep with the timing wheel set as
+// given (per-job via engine options), partitioned into the given number of
+// domains. One worker: the equivalence needs identical runs.
 func runWheelSweep(t *testing.T, wheel bool, domains int) []*harness.Result {
 	t.Helper()
-	sim.SetTimerWheel(wheel)
-	jobs := domainJobs(t, domains)
+	jobs := domainJobs(t, domains, sim.WithTimerWheel(wheel))
 	if len(jobs) < 14 {
 		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
 	}
@@ -35,7 +34,6 @@ func TestWheelRunsFingerprintMatchHeap(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick sweep six times")
 	}
-	defer sim.SetTimerWheel(true)
 
 	for _, domains := range []int{1, 2, 4} {
 		on := runWheelSweep(t, true, domains)
