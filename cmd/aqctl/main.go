@@ -1,21 +1,35 @@
 // Command aqctl runs the AQ Controller of §4.1 as a TCP daemon, or acts as
-// a client sending it tenant requests.
+// a client sending it tenant requests. The client mode also speaks the v2
+// service verbs of cmd/aqsimd: workload attach/detach, guarantee
+// reconfiguration, telemetry and run control.
 //
 // Server:
 //
 //	aqctl -serve -listen 127.0.0.1:7070 -capacity 10e9 -switches S1,S2
 //
-// Client:
+// Client (controller verbs, against aqctl -serve or aqsimd):
 //
 //	aqctl -addr 127.0.0.1:7070 -op grant -tenant t1 -mode weighted \
 //	      -weight 1 -cc ecn -position ingress -switch S1
-//	aqctl -addr 127.0.0.1:7070 -op set_active -id 3 -active=false
+//	aqctl -addr 127.0.0.1:7070 -op set_rate -id 3 -bandwidth 2e9
+//	aqctl -addr 127.0.0.1:7070 -op set_weight -id 4 -weight 3
 //	aqctl -addr 127.0.0.1:7070 -op release -id 3
 //	aqctl -addr 127.0.0.1:7070 -op list
 //
-// The daemon owns one AQ table per registered switch pipeline; in a real
-// deployment the table writes would be mirrored to the switch data plane
-// through its runtime API (§4.1).
+// Client (service verbs, against aqsimd):
+//
+//	aqctl -addr 127.0.0.1:7171 -op attach -tenant t1 -id 3 \
+//	      -kind websearch -load 0.5
+//	aqctl -addr 127.0.0.1:7171 -op stats
+//	aqctl -addr 127.0.0.1:7171 -op watch -count 10
+//	aqctl -addr 127.0.0.1:7171 -op trace -count 50
+//	aqctl -addr 127.0.0.1:7171 -op pause
+//	aqctl -addr 127.0.0.1:7171 -op step -count 5
+//	aqctl -addr 127.0.0.1:7171 -op advance -until 2000000000
+//	aqctl -addr 127.0.0.1:7171 -op quit
+//
+// Requests are sent as protocol v2 by default; -proto 1 reproduces the
+// legacy v1 exchanges byte for byte.
 package main
 
 import (
@@ -38,16 +52,23 @@ func main() {
 		capacity = flag.Float64("capacity", 10e9, "managed link capacity in bits/s")
 
 		addr     = flag.String("addr", "127.0.0.1:7070", "daemon address (client mode)")
-		op       = flag.String("op", "", "client operation: grant|release|set_active|list")
+		op       = flag.String("op", "", "operation: hello|grant|release|set_active|set_rate|set_weight|list|attach|detach|stats|watch|trace|fingerprint|pause|resume|step|advance|quit")
+		proto    = flag.Int("proto", control.ProtoV2, "wire protocol version to speak")
 		tenant   = flag.String("tenant", "", "tenant name")
 		mode     = flag.String("mode", "absolute", "absolute|weighted")
-		bw       = flag.Float64("bandwidth", 0, "requested bandwidth in bits/s (absolute mode)")
-		weight   = flag.Float64("weight", 0, "network weight (weighted mode)")
-		ccName   = flag.String("cc", "drop", "drop|ecn|delay")
+		bw       = flag.Float64("bandwidth", 0, "bandwidth in bits/s (grant/set_rate)")
+		weight   = flag.Float64("weight", 0, "network weight (grant/set_weight)")
+		ccName   = flag.String("cc", "", "grant: drop|ecn|delay; attach: newreno|cubic|dctcp|...")
 		position = flag.String("position", "ingress", "ingress|egress")
 		swName   = flag.String("switch", "S1", "target switch")
-		id       = flag.Uint("id", 0, "AQ id (release/set_active)")
+		id       = flag.Uint("id", 0, "AQ id (release/set_active/set_rate/set_weight, attach tag) or driver id (detach)")
 		active   = flag.Bool("active", true, "set_active value")
+		kind     = flag.String("kind", "websearch", "attach: websearch|datamining|fixed")
+		size     = flag.Int64("size", 0, "attach: flow size in bytes (kind fixed)")
+		load     = flag.Float64("load", 0, "attach: offered load as a fraction of capacity")
+		seed     = flag.Uint64("seed", 0, "attach: workload seed (0 = deterministic default)")
+		count    = flag.Int("count", 0, "watch/trace/step: snapshots, events or windows")
+		until    = flag.Int64("until", 0, "advance: absolute simulated time target in ns")
 	)
 	flag.Parse()
 
@@ -59,7 +80,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	v := *proto
+	if v == control.ProtoV1 {
+		v = 0 // v1 requests omit the field entirely
+	}
 	runClient(*addr, control.WireRequest{
+		V:         v,
 		Op:        *op,
 		Tenant:    *tenant,
 		Mode:      *mode,
@@ -70,6 +96,12 @@ func main() {
 		Switch:    *swName,
 		ID:        uint32(*id),
 		Active:    active,
+		Kind:      *kind,
+		Size:      *size,
+		Load:      *load,
+		Seed:      *seed,
+		Count:     *count,
+		UntilNS:   *until,
 	})
 }
 
@@ -103,16 +135,36 @@ func runClient(addr string, req control.WireRequest) {
 	defer cli.Close()
 	resp, err := cli.Do(req)
 	if err != nil {
+		if resp.Code != "" {
+			log.Fatalf("%s: [%s] %v", req.Op, resp.Code, err)
+		}
 		log.Fatalf("%s: %v", req.Op, err)
 	}
-	switch req.Op {
-	case "grant":
-		fmt.Printf("granted AQ id=%d rate=%v\n", resp.ID, units.BitRate(resp.Rate))
-	case "set_active":
-		fmt.Printf("AQ id=%d rate=%v\n", resp.ID, units.BitRate(resp.Rate))
-	case "list":
-		fmt.Printf("granted AQ ids: %v\n", resp.IDs)
-	default:
-		fmt.Println("ok")
+	print := func(resp control.WireResponse) {
+		switch {
+		case len(resp.Data) > 0:
+			fmt.Println(string(resp.Data))
+		case req.Op == "grant":
+			fmt.Printf("granted AQ id=%d rate=%v\n", resp.ID, units.BitRate(resp.Rate))
+		case req.Op == "attach":
+			fmt.Printf("attached driver id=%d\n", resp.ID)
+		case req.Op == "set_active" || req.Op == "set_rate" || req.Op == "set_weight":
+			fmt.Printf("AQ id=%d rate=%v\n", resp.ID, units.BitRate(resp.Rate))
+		case req.Op == "list":
+			fmt.Printf("granted AQ ids: %v\n", resp.IDs)
+		default:
+			fmt.Println("ok")
+		}
+	}
+	print(resp)
+	// watch streams Count responses for the one request; drain the rest.
+	if req.Op == "watch" {
+		for i := 1; i < req.Count; i++ {
+			resp, err := cli.Recv()
+			if err != nil {
+				log.Fatalf("watch: %v", err)
+			}
+			print(resp)
+		}
 	}
 }

@@ -100,6 +100,7 @@ func report(w io.Writer, oldPath, newPath string) error {
 	row(w, "forwarding ns/packet",
 		fieldOf(o.Forwarding, func() *float64 { return o.Forwarding.NsPerPacket }),
 		fieldOf(n.Forwarding, func() *float64 { return n.Forwarding.NsPerPacket }))
+	normalizedForwardingRow(w, o, n)
 	row(w, "forwarding allocs/op",
 		fieldOf(o.Forwarding, func() *float64 { return o.Forwarding.AllocsPerOp }),
 		fieldOf(n.Forwarding, func() *float64 { return n.Forwarding.AllocsPerOp }))
@@ -150,6 +151,40 @@ func report(w io.Writer, oldPath, newPath string) error {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "_Lower is better for the timing rows; numbers from shared runners are noisy._")
 	return nil
+}
+
+// machineSpeedTolerance is how far the two records' engine ns/event may
+// diverge before the raw forwarding delta is considered dominated by host
+// speed rather than by a code change.
+const machineSpeedTolerance = 0.15
+
+// normalizedForwardingRow adds a machine-speed-normalized view of the
+// forwarding cost when the two records clearly come from hosts of
+// different speeds. The engine's ns/event is the repository's purest
+// single-core churn number (a tight heap/dispatch loop with no topology
+// in it), so expressing forwarding cost in engine events — (forwarding
+// ns/packet) / (engine ns/event) — cancels the host out. A baseline
+// recorded on a slower box then stops reading as a regression on a
+// faster one and vice versa; the residual delta is the code's.
+func normalizedForwardingRow(w io.Writer, o, n metrics) {
+	oFwd := fieldOf(o.Forwarding, func() *float64 { return o.Forwarding.NsPerPacket })
+	nFwd := fieldOf(n.Forwarding, func() *float64 { return n.Forwarding.NsPerPacket })
+	oEv := fieldOf(o.Engine, func() *float64 { return o.Engine.NsPerEvent })
+	nEv := fieldOf(n.Engine, func() *float64 { return n.Engine.NsPerEvent })
+	if oFwd == nil || nFwd == nil || oEv == nil || nEv == nil ||
+		*oEv <= 0 || *nEv <= 0 || *oFwd <= 0 {
+		return
+	}
+	speed := *nEv / *oEv
+	if diff := speed - 1; diff < machineSpeedTolerance && diff > -machineSpeedTolerance {
+		return // same-speed hosts: the raw row is already honest
+	}
+	oNorm := *oFwd / *oEv
+	nNorm := *nFwd / *nEv
+	fmt.Fprintf(w, "| forwarding events-equivalent/packet (speed-normalized) | %.2f | %.2f | %+.1f%% |\n",
+		oNorm, nNorm, (nNorm-oNorm)/oNorm*100)
+	fmt.Fprintf(w, "| ↳ engine churn differs %+.0f%% between hosts; read the normalized row, not the raw one | | | |\n",
+		(speed-1)*100)
 }
 
 // fieldOf guards a leaf access behind its section pointer: it returns nil

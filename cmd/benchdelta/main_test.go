@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -74,6 +75,67 @@ func TestReportRejectsNonRecords(t *testing.T) {
 	var sb strings.Builder
 	if err := report(&sb, filepath.Join("testdata", "v1.json"), filepath.Join("testdata", "missing.json")); err == nil {
 		t.Fatal("want error for missing file")
+	}
+}
+
+// renderPair runs the report over two inline record bodies.
+func renderPair(t *testing.T, oldBody, newBody string) string {
+	t.Helper()
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := report(&sb, oldPath, newPath); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	return sb.String()
+}
+
+func TestReportSameSpeedHostsOmitsNormalization(t *testing.T) {
+	out := renderPair(t,
+		`{"schema":"s1","current":{"engine":{"ns_per_event":40},"forwarding":{"ns_per_packet":1000}}}`,
+		`{"schema":"s1","current":{"engine":{"ns_per_event":42},"forwarding":{"ns_per_packet":1050}}}`)
+	if strings.Contains(out, "speed-normalized") {
+		t.Fatalf("normalization row printed for same-speed hosts:\n%s", out)
+	}
+	if !strings.Contains(out, "| forwarding ns/packet | 1000.00 | 1050.00 | +5.0% |") {
+		t.Fatalf("raw forwarding row missing or wrong:\n%s", out)
+	}
+}
+
+func TestReportCrossMachineNormalization(t *testing.T) {
+	// The "new" host is ~2x faster (engine 20 vs 40 ns/event). Raw
+	// forwarding reads as a huge improvement (1000 -> 520), but in
+	// engine-event units it is 1000/40=25 vs 520/20=26: a +4% residual.
+	out := renderPair(t,
+		`{"schema":"s1","current":{"engine":{"ns_per_event":40},"forwarding":{"ns_per_packet":1000}}}`,
+		`{"schema":"s1","current":{"engine":{"ns_per_event":20},"forwarding":{"ns_per_packet":520}}}`)
+	if !strings.Contains(out, "| forwarding events-equivalent/packet (speed-normalized) | 25.00 | 26.00 | +4.0% |") {
+		t.Fatalf("normalized row missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "engine churn differs -50% between hosts") {
+		t.Fatalf("speed hint missing:\n%s", out)
+	}
+	// The raw row still prints — normalization augments, never hides data.
+	if !strings.Contains(out, "| forwarding ns/packet | 1000.00 | 520.00 | -48.0% |") {
+		t.Fatalf("raw forwarding row should still print:\n%s", out)
+	}
+}
+
+func TestReportNormalizationNeedsBothEngines(t *testing.T) {
+	// A baseline that predates the engine section can't be normalized;
+	// the report must not invent a factor.
+	out := renderPair(t,
+		`{"schema":"s1","current":{"forwarding":{"ns_per_packet":1000}}}`,
+		`{"schema":"s1","current":{"engine":{"ns_per_event":20},"forwarding":{"ns_per_packet":520}}}`)
+	if strings.Contains(out, "speed-normalized") {
+		t.Fatalf("normalization row printed without baseline engine data:\n%s", out)
 	}
 }
 

@@ -1,0 +1,64 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire protocol versions. A request carries its version in the "v" field;
+// an absent field (0) means v1, the original four-verb protocol, which is
+// accepted forever for backward compatibility. v2 adds the service verbs
+// (attach/detach, set_rate/set_weight, stats/watch/trace, run control),
+// machine-readable error codes, and structured payloads in "data".
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+	// ProtoMax is the newest version this build speaks. Requests beyond it
+	// are rejected with CodeUnsupportedVersion and the server's ceiling in
+	// the response "v" field, so a newer client can downgrade.
+	ProtoMax = ProtoV2
+)
+
+// Machine-readable error codes carried in WireResponse.Code (v2). The
+// human-readable Error string may change freely; scripts branch on these.
+const (
+	// CodeMalformed: the request line was not valid JSON.
+	CodeMalformed = "malformed"
+	// CodeUnsupportedVersion: the request's "v" exceeds ProtoMax.
+	CodeUnsupportedVersion = "unsupported_version"
+	// CodeUnknownOp: the op is not recognized at the negotiated version.
+	CodeUnknownOp = "unknown_op"
+	// CodeBadRequest: the op is known but its arguments are invalid.
+	CodeBadRequest = "bad_request"
+	// CodeInsufficientBandwidth: an absolute grant or reconfiguration does
+	// not fit the link capacity.
+	CodeInsufficientBandwidth = "insufficient_bandwidth"
+	// CodeUnknownTable: the switch/position names no registered table.
+	CodeUnknownTable = "unknown_table"
+	// CodeUnknownID: the AQ or driver id names nothing currently granted.
+	CodeUnknownID = "unknown_id"
+	// CodeNotPaused: a step was requested while the fabric free-runs.
+	CodeNotPaused = "not_paused"
+	// CodeShuttingDown: the service is quitting; no further mutations.
+	CodeShuttingDown = "shutting_down"
+	// CodeInternal: the server failed to encode a payload (a bug).
+	CodeInternal = "internal"
+)
+
+// Errf builds an error response with a machine-readable code.
+func Errf(code, format string, args ...any) WireResponse {
+	return WireResponse{Error: fmt.Sprintf(format, args...), Code: code}
+}
+
+// ErrToResponse maps a controller error to its wire form: the sentinel
+// errors get their dedicated codes, anything else is a bad request.
+func ErrToResponse(err error) WireResponse {
+	code := CodeBadRequest
+	switch {
+	case errors.Is(err, ErrInsufficientBandwidth):
+		code = CodeInsufficientBandwidth
+	case errors.Is(err, ErrUnknownID):
+		code = CodeUnknownID
+	}
+	return WireResponse{Error: err.Error(), Code: code}
+}

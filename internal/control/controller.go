@@ -84,6 +84,9 @@ var ErrInsufficientBandwidth = errors.New("control: insufficient bandwidth for a
 // ErrBadRequest rejects malformed requests.
 var ErrBadRequest = errors.New("control: bad request")
 
+// ErrUnknownID rejects operations naming a grant that does not exist.
+var ErrUnknownID = errors.New("control: unknown id")
+
 // Controller manages the AQs of one bottleneck link: admission, ID
 // generation, deployment, and weighted-mode rebalancing when the set of
 // active entities changes.
@@ -152,31 +155,107 @@ func (c *Controller) Grant(req Request, tbl *core.Table) (Grant, error) {
 	return Grant{ID: id, Rate: gs.rate}, nil
 }
 
-// Release undeploys a granted AQ and rebalances its table.
-func (c *Controller) Release(id packet.AQID) {
+// Release undeploys a granted AQ and rebalances its table. It reports
+// whether the id named a live grant (callers that must distinguish a miss,
+// like the v2 wire protocol, check it; v1 semantics ignore it).
+func (c *Controller) Release(id packet.AQID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	gs, ok := c.grants[id]
 	if !ok {
-		return
+		return false
 	}
 	delete(c.grants, id)
 	gs.table.Remove(id)
 	c.rebalanceLocked(gs.table)
+	return true
 }
 
-// SetActive marks a weighted entity active or idle. The §5.2 experiments
-// (Fig. 9) rely on this: when an entity stops sending, the operator marks
-// it idle and the remaining active entities absorb its share.
-func (c *Controller) SetActive(id packet.AQID, active bool) {
+// SetActive marks a weighted entity active or idle, reporting whether the
+// id named a live grant. The §5.2 experiments (Fig. 9) rely on this: when
+// an entity stops sending, the operator marks it idle and the remaining
+// active entities absorb its share.
+func (c *Controller) SetActive(id packet.AQID, active bool) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	gs, ok := c.grants[id]
-	if !ok || gs.active == active {
-		return
+	if !ok {
+		return false
 	}
-	gs.active = active
+	if gs.active != active {
+		gs.active = active
+		c.rebalanceLocked(gs.table)
+	}
+	return true
+}
+
+// SetGuarantee reconfigures a live grant in place — the §4 control plane's
+// runtime mutation: an absolute grant moves to the new bandwidth (admission
+// re-checked against the other reservations), a weighted grant to the new
+// weight. Exactly one of bw/weight must be non-zero, matching the grant's
+// mode; the other argument must be zero. It returns the grant's deployed
+// rate after the change (for weighted grants, the post-rebalance share).
+func (c *Controller) SetGuarantee(id packet.AQID, bw units.BitRate, weight float64) (units.BitRate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gs, ok := c.grants[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: no grant with id %d", ErrUnknownID, id)
+	}
+	switch {
+	case bw > 0 && weight == 0:
+		if gs.req.Mode != Absolute {
+			return 0, fmt.Errorf("%w: grant %d is weighted; use a weight", ErrBadRequest, id)
+		}
+		if c.absoluteReservedLocked(gs.table)-gs.req.Bandwidth+bw > c.capacity {
+			return 0, ErrInsufficientBandwidth
+		}
+		gs.req.Bandwidth = bw
+		gs.rate = bw
+		gs.aq.SetRate(bw)
+	case weight > 0 && bw == 0:
+		if gs.req.Mode != Weighted {
+			return 0, fmt.Errorf("%w: grant %d is absolute; use a bandwidth", ErrBadRequest, id)
+		}
+		gs.req.Weight = weight
+	default:
+		return 0, fmt.Errorf("%w: need exactly one of bandwidth or weight", ErrBadRequest)
+	}
 	c.rebalanceLocked(gs.table)
+	return gs.rate, nil
+}
+
+// GrantInfo is one grant's introspectable state: identity, guarantee, and
+// the deployed AQ's packet counters — the per-tenant slice of a telemetry
+// snapshot.
+type GrantInfo struct {
+	ID     packet.AQID  `json:"id"`
+	Tenant string       `json:"tenant"`
+	Mode   string       `json:"mode"`
+	Rate   float64      `json:"rate_bps"`
+	Weight float64      `json:"weight,omitempty"`
+	Active bool         `json:"active"`
+	AQ     core.AQStats `json:"aq"`
+}
+
+// Info snapshots every grant in ascending ID order.
+func (c *Controller) Info() []GrantInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]GrantInfo, 0, len(c.grants))
+	for id, gs := range c.grants {
+		out = append(out, GrantInfo{
+			ID:     id,
+			Tenant: gs.req.Tenant,
+			Mode:   gs.req.Mode.String(),
+			Rate:   float64(gs.rate),
+			Weight: gs.req.Weight,
+			Active: gs.active,
+			AQ:     gs.aq.Stats(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Rate reports the currently deployed rate of a grant.

@@ -16,12 +16,16 @@ import (
 // This file implements the controller's wire protocol: newline-delimited
 // JSON over TCP. Tenants (cmd/aqctl's client mode, or the hypervisor agent
 // of §4.1) send requests; the controller answers with grants. The protocol
-// is deliberately small — grant, release, set_active, list — because that
-// is the entire §4.1 interaction surface.
+// is versioned (see codes.go): v1 is the original grant/release/
+// set_active/list surface of §4.1, v2 adds guarantee reconfiguration and
+// the verbs of the long-running fabric service (internal/service,
+// cmd/aqsimd). The full schema is documented in DESIGN.md.
 
 // WireRequest is one client message.
 type WireRequest struct {
-	Op        string  `json:"op"` // grant | release | set_active | list
+	// V is the protocol version the client speaks; absent (0) means v1.
+	V         int     `json:"v,omitempty"`
+	Op        string  `json:"op"`
 	Tenant    string  `json:"tenant,omitempty"`
 	Mode      string  `json:"mode,omitempty"` // absolute | weighted
 	Bandwidth float64 `json:"bandwidth_bps,omitempty"`
@@ -31,50 +35,59 @@ type WireRequest struct {
 	Switch    string  `json:"switch,omitempty"`
 	ID        uint32  `json:"id,omitempty"`
 	Active    *bool   `json:"active,omitempty"`
+
+	// v2 fields, used by the service verbs (internal/service).
+	Kind    string  `json:"kind,omitempty"`     // attach: flow-size distribution (websearch|datamining|fixed)
+	Load    float64 `json:"load,omitempty"`     // attach: offered load as a fraction of the bottleneck rate
+	Size    int64   `json:"size,omitempty"`     // attach: flow size in bytes for kind "fixed"
+	Seed    uint64  `json:"seed,omitempty"`     // attach: workload seed (0 picks one deterministically)
+	Count   int     `json:"count,omitempty"`    // watch/trace/step: how many snapshots/events/windows
+	UntilNS int64   `json:"until_ns,omitempty"` // advance: absolute sim-time target in nanoseconds
 }
 
 // WireResponse is the controller's answer.
 type WireResponse struct {
-	OK    bool     `json:"ok"`
-	Error string   `json:"error,omitempty"`
-	ID    uint32   `json:"id,omitempty"`
-	Rate  float64  `json:"rate_bps,omitempty"`
-	IDs   []uint32 `json:"ids,omitempty"`
+	// V echoes the negotiated protocol version for v2+ exchanges; v1
+	// responses omit it, byte-compatible with pre-versioning servers.
+	V     int    `json:"v,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code is the machine-readable error class (codes.go), set on every
+	// v2 error; scripts branch on it instead of parsing Error.
+	Code string   `json:"code,omitempty"`
+	ID   uint32   `json:"id,omitempty"`
+	Rate float64  `json:"rate_bps,omitempty"`
+	IDs  []uint32 `json:"ids,omitempty"`
+	// Data carries a structured payload — a service.Snapshot, a trace
+	// tail, version info — whose shape is op-specific (see DESIGN.md).
+	Data json.RawMessage `json:"data,omitempty"`
 }
 
-// Server exposes a Controller over TCP. Pipeline tables are registered
-// under "switch/position" names; grants address them by those names.
-type Server struct {
-	ctrl *Controller
+// Handler processes one decoded request and emits one or more responses.
+// emit returns false once the connection is gone; a streaming handler
+// (watch) should stop emitting then. Handlers run on the connection's
+// goroutine, so a streaming handler blocks further requests on that
+// connection only.
+type Handler func(req WireRequest, emit func(WireResponse) bool)
 
-	mu     sync.Mutex
-	tables map[string]*core.Table
-	ln     net.Listener
-	wg     sync.WaitGroup
+// WireServer runs the newline-delimited-JSON loop for any Handler: it
+// owns the listener, decodes requests, enforces the version ceiling, and
+// normalizes responses (version echo, error-code fallback). The
+// controller's Server and the fabric service's wire front end are both
+// built on it.
+type WireServer struct {
+	h  Handler
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
 }
 
-// NewServer wraps a controller.
-func NewServer(ctrl *Controller) *Server {
-	return &Server{ctrl: ctrl, tables: make(map[string]*core.Table)}
-}
-
-// RegisterTable exposes a pipeline table under the given switch name and
-// position, creating the table if nil is passed.
-func (s *Server) RegisterTable(sw string, pos Position, tbl *core.Table) *core.Table {
-	if tbl == nil {
-		tbl = core.NewTable()
-	}
-	s.mu.Lock()
-	s.tables[tableKey(sw, pos)] = tbl
-	s.mu.Unlock()
-	return tbl
-}
-
-func tableKey(sw string, pos Position) string { return sw + "/" + pos.String() }
+// NewWireServer wraps a handler.
+func NewWireServer(h Handler) *WireServer { return &WireServer{h: h} }
 
 // Serve accepts connections on ln until the listener closes. It blocks;
 // run it in a goroutine and call Close to stop.
-func (s *Server) Serve(ln net.Listener) error {
+func (s *WireServer) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -94,7 +107,7 @@ func (s *Server) Serve(ln net.Listener) error {
 
 // Close stops the listener; in-flight connections finish their current
 // request.
-func (s *Server) Close() error {
+func (s *WireServer) Close() error {
 	s.mu.Lock()
 	ln := s.ln
 	s.mu.Unlock()
@@ -104,7 +117,7 @@ func (s *Server) Close() error {
 	return nil
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *WireServer) handle(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
@@ -115,55 +128,171 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		var req WireRequest
-		var resp WireResponse
 		if err := json.Unmarshal(line, &req); err != nil {
-			resp = WireResponse{Error: "malformed request: " + err.Error()}
-		} else {
-			resp = s.dispatch(req)
+			if encErr := enc.Encode(Errf(CodeMalformed, "malformed request: %v", err)); encErr != nil {
+				return
+			}
+			continue
 		}
-		if err := enc.Encode(resp); err != nil {
+		alive := true
+		emit := func(resp WireResponse) bool {
+			if !alive {
+				return false
+			}
+			// Echo the version on v2+ exchanges; leave v1 responses
+			// byte-compatible with the pre-versioning protocol. Errors
+			// without a class default to bad_request so v2 clients can
+			// always branch on Code.
+			if req.V >= ProtoV2 && resp.V == 0 {
+				resp.V = req.V
+			}
+			if resp.Error != "" && resp.Code == "" {
+				resp.Code = CodeBadRequest
+			}
+			if err := enc.Encode(resp); err != nil {
+				alive = false
+			}
+			return alive
+		}
+		if req.V > ProtoMax {
+			// Tell the newer client our ceiling so it can downgrade.
+			resp := Errf(CodeUnsupportedVersion, "protocol v%d not supported (max v%d)", req.V, ProtoMax)
+			resp.V = ProtoMax
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+			continue
+		}
+		s.h(req, emit)
+		if !alive {
 			return
 		}
 	}
 }
 
+// Server exposes a Controller over TCP. Pipeline tables are registered
+// under "switch/position" names; grants address them by those names.
+type Server struct {
+	ctrl *Controller
+	ws   *WireServer
+
+	mu     sync.Mutex
+	tables map[string]*core.Table
+}
+
+// NewServer wraps a controller.
+func NewServer(ctrl *Controller) *Server {
+	s := &Server{ctrl: ctrl, tables: make(map[string]*core.Table)}
+	s.ws = NewWireServer(func(req WireRequest, emit func(WireResponse) bool) {
+		emit(s.dispatch(req))
+	})
+	return s
+}
+
+// RegisterTable exposes a pipeline table under the given switch name and
+// position, creating the table if nil is passed.
+func (s *Server) RegisterTable(sw string, pos Position, tbl *core.Table) *core.Table {
+	if tbl == nil {
+		tbl = core.NewTable()
+	}
+	s.mu.Lock()
+	s.tables[tableKey(sw, pos)] = tbl
+	s.mu.Unlock()
+	return tbl
+}
+
+func tableKey(sw string, pos Position) string { return sw + "/" + pos.String() }
+
+// lookup resolves a registered pipeline table, nil if absent.
+func (s *Server) lookup(sw string, pos Position) *core.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[tableKey(sw, pos)]
+}
+
+// Serve accepts connections on ln until the listener closes. It blocks;
+// run it in a goroutine and call Close to stop.
+func (s *Server) Serve(ln net.Listener) error { return s.ws.Serve(ln) }
+
+// Close stops the listener; in-flight connections finish their current
+// request.
+func (s *Server) Close() error { return s.ws.Close() }
+
 func (s *Server) dispatch(req WireRequest) WireResponse {
+	if resp, handled := DispatchController(s.ctrl, s.lookup, req); handled {
+		return resp
+	}
+	return Errf(CodeUnknownOp, "unknown op %q", req.Op)
+}
+
+// DispatchController executes one controller verb — the v1 surface plus
+// the v2 reconfiguration verbs — against ctrl, resolving pipeline tables
+// through lookup. It reports handled=false for ops outside that set, so a
+// larger server (internal/service) can layer its own verbs around the
+// same controller dispatch instead of re-implementing it.
+func DispatchController(ctrl *Controller, lookup func(sw string, pos Position) *core.Table, req WireRequest) (WireResponse, bool) {
 	switch req.Op {
+	case "hello":
+		// Version discovery: data lists every protocol version the server
+		// accepts. v1 clients that never send "hello" lose nothing.
+		data, err := json.Marshal(struct {
+			Versions []int `json:"versions"`
+		}{Versions: []int{ProtoV1, ProtoV2}})
+		if err != nil {
+			return Errf(CodeInternal, "encoding hello: %v", err), true
+		}
+		return WireResponse{OK: true, V: ProtoMax, Data: data}, true
 	case "grant":
 		r, err := parseRequest(req)
 		if err != nil {
-			return WireResponse{Error: err.Error()}
+			return ErrToResponse(err), true
 		}
-		s.mu.Lock()
-		tbl := s.tables[tableKey(req.Switch, r.Position)]
-		s.mu.Unlock()
+		tbl := lookup(req.Switch, r.Position)
 		if tbl == nil {
-			return WireResponse{Error: fmt.Sprintf("unknown switch/position %q/%s", req.Switch, r.Position)}
+			return Errf(CodeUnknownTable, "unknown switch/position %q/%s", req.Switch, r.Position), true
 		}
-		g, err := s.ctrl.Grant(r, tbl)
+		g, err := ctrl.Grant(r, tbl)
 		if err != nil {
-			return WireResponse{Error: err.Error()}
+			return ErrToResponse(err), true
 		}
-		return WireResponse{OK: true, ID: uint32(g.ID), Rate: float64(g.Rate)}
+		return WireResponse{OK: true, ID: uint32(g.ID), Rate: float64(g.Rate)}, true
 	case "release":
-		s.ctrl.Release(packet.AQID(req.ID))
-		return WireResponse{OK: true}
+		if !ctrl.Release(packet.AQID(req.ID)) && req.V >= ProtoV2 {
+			// v1 kept release idempotent-silent; v2 reports the miss.
+			return Errf(CodeUnknownID, "no grant with id %d", req.ID), true
+		}
+		return WireResponse{OK: true}, true
 	case "set_active":
 		if req.Active == nil {
-			return WireResponse{Error: "set_active needs \"active\""}
+			return Errf(CodeBadRequest, "set_active needs \"active\""), true
 		}
-		s.ctrl.SetActive(packet.AQID(req.ID), *req.Active)
-		return WireResponse{OK: true, ID: req.ID, Rate: float64(s.ctrl.Rate(packet.AQID(req.ID)))}
+		if !ctrl.SetActive(packet.AQID(req.ID), *req.Active) && req.V >= ProtoV2 {
+			return Errf(CodeUnknownID, "no grant with id %d", req.ID), true
+		}
+		return WireResponse{OK: true, ID: req.ID, Rate: float64(ctrl.Rate(packet.AQID(req.ID)))}, true
+	case "set_rate":
+		// v2: reconfigure an absolute guarantee in place.
+		rate, err := ctrl.SetGuarantee(packet.AQID(req.ID), units.BitRate(req.Bandwidth), 0)
+		if err != nil {
+			return ErrToResponse(err), true
+		}
+		return WireResponse{OK: true, ID: req.ID, Rate: float64(rate)}, true
+	case "set_weight":
+		// v2: reconfigure a weighted share in place.
+		rate, err := ctrl.SetGuarantee(packet.AQID(req.ID), 0, req.Weight)
+		if err != nil {
+			return ErrToResponse(err), true
+		}
+		return WireResponse{OK: true, ID: req.ID, Rate: float64(rate)}, true
 	case "list":
-		ids := s.ctrl.Grants()
+		ids := ctrl.Grants()
 		out := make([]uint32, len(ids))
 		for i, id := range ids {
 			out[i] = uint32(id)
 		}
-		return WireResponse{OK: true, IDs: out}
-	default:
-		return WireResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return WireResponse{OK: true, IDs: out}, true
 	}
+	return WireResponse{}, false
 }
 
 // parseRequest converts the wire form into a Request.
@@ -179,7 +308,7 @@ func parseRequest(w WireRequest) (Request, error) {
 	case "weighted":
 		r.Mode = Weighted
 	default:
-		return r, fmt.Errorf("unknown mode %q", w.Mode)
+		return r, fmt.Errorf("%w: unknown mode %q", ErrBadRequest, w.Mode)
 	}
 	switch strings.ToLower(w.CC) {
 	case "drop", "":
@@ -189,7 +318,7 @@ func parseRequest(w WireRequest) (Request, error) {
 	case "delay":
 		r.CC = core.DelayType
 	default:
-		return r, fmt.Errorf("unknown cc %q", w.CC)
+		return r, fmt.Errorf("%w: unknown cc %q", ErrBadRequest, w.CC)
 	}
 	switch strings.ToLower(w.Position) {
 	case "ingress", "":
@@ -197,7 +326,7 @@ func parseRequest(w WireRequest) (Request, error) {
 	case "egress":
 		r.Position = Egress
 	default:
-		return r, fmt.Errorf("unknown position %q", w.Position)
+		return r, fmt.Errorf("%w: unknown position %q", ErrBadRequest, w.Position)
 	}
 	return r, nil
 }
@@ -233,6 +362,12 @@ func (c *Client) Do(req WireRequest) (WireResponse, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return WireResponse{}, err
 	}
+	return c.Recv()
+}
+
+// Recv reads one more response line — the tail of a streaming verb like
+// "watch", whose server emits Count responses for one request.
+func (c *Client) Recv() (WireResponse, error) {
 	if !c.sc.Scan() {
 		if err := c.sc.Err(); err != nil {
 			return WireResponse{}, err

@@ -3,6 +3,7 @@ package control
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -139,6 +140,108 @@ func TestWireConcurrentClients(t *testing.T) {
 	}
 	if got := len(ctrl.Grants()); got != clients*20 {
 		t.Fatalf("granted %d, want %d", got, clients*20)
+	}
+}
+
+func TestWireVersionNegotiation(t *testing.T) {
+	conn, done := dialTestServer(t)
+	defer done()
+
+	// hello reports every accepted version and the server's ceiling.
+	resp := roundTrip(t, conn, `{"op":"hello","v":2}`)
+	if !resp.OK || resp.V != ProtoMax {
+		t.Fatalf("hello: %+v", resp)
+	}
+	var info struct {
+		Versions []int `json:"versions"`
+	}
+	if err := json.Unmarshal(resp.Data, &info); err != nil || len(info.Versions) != 2 {
+		t.Fatalf("hello data %s (err %v)", resp.Data, err)
+	}
+
+	// A version beyond the ceiling is refused with a machine-readable code
+	// and the ceiling echoed, so the client can downgrade.
+	resp = roundTrip(t, conn, `{"op":"list","v":99}`)
+	if resp.OK || resp.Code != CodeUnsupportedVersion || resp.V != ProtoMax {
+		t.Fatalf("v99 accepted or mis-coded: %+v", resp)
+	}
+
+	// v1 (absent field) still works and gets no version echo — the
+	// response bytes are what a pre-versioning server produced.
+	resp = roundTrip(t, conn, `{"op":"list"}`)
+	if !resp.OK || resp.V != 0 {
+		t.Fatalf("v1 list: %+v", resp)
+	}
+
+	// v2 errors carry codes.
+	resp = roundTrip(t, conn, `{"op":"transmogrify","v":2}`)
+	if resp.OK || resp.Code != CodeUnknownOp || resp.V != ProtoV2 {
+		t.Fatalf("unknown op under v2: %+v", resp)
+	}
+	resp = roundTrip(t, conn, `{"op":"release","id":999,"v":2}`)
+	if resp.OK || resp.Code != CodeUnknownID {
+		t.Fatalf("v2 release of unknown id: %+v", resp)
+	}
+	// ... while v1 keeps the idempotent-silent release semantics.
+	resp = roundTrip(t, conn, `{"op":"release","id":999}`)
+	if !resp.OK {
+		t.Fatalf("v1 release of unknown id must stay silent: %+v", resp)
+	}
+}
+
+func TestWireErrorCodes(t *testing.T) {
+	conn, done := dialTestServer(t)
+	defer done()
+	cases := []struct {
+		line string
+		code string
+	}{
+		{"{not json", CodeMalformed},
+		{`{"op":"grant","mode":"sideways","switch":"S1","v":2}`, CodeBadRequest},
+		{`{"op":"grant","mode":"absolute","bandwidth_bps":1e9,"switch":"S9","v":2}`, CodeUnknownTable},
+		{`{"op":"grant","mode":"absolute","bandwidth_bps":99e9,"switch":"S1","v":2}`, CodeInsufficientBandwidth},
+		{`{"op":"set_rate","id":777,"bandwidth_bps":1e9,"v":2}`, CodeUnknownID},
+	}
+	for _, c := range cases {
+		resp := roundTrip(t, conn, c.line)
+		if resp.OK || resp.Code != c.code {
+			t.Errorf("%q: got code %q (%+v), want %q", c.line, resp.Code, resp, c.code)
+		}
+	}
+}
+
+func TestWireSetRateSetWeight(t *testing.T) {
+	conn, done := dialTestServer(t)
+	defer done()
+
+	g1 := roundTrip(t, conn, `{"op":"grant","mode":"absolute","bandwidth_bps":4e9,"switch":"S1","v":2}`)
+	g2 := roundTrip(t, conn, `{"op":"grant","mode":"weighted","weight":1,"switch":"S1","v":2}`)
+	g3 := roundTrip(t, conn, `{"op":"grant","mode":"weighted","weight":1,"switch":"S1","v":2}`)
+	if !g1.OK || !g2.OK || !g3.OK {
+		t.Fatalf("grants failed: %+v %+v %+v", g1, g2, g3)
+	}
+
+	// Shrink the absolute guarantee; the weighted pair splits the freed
+	// headroom — 8 Gbps spare over weights 1:1 — at the next rebalance.
+	resp := roundTrip(t, conn, fmt.Sprintf(`{"op":"set_rate","id":%d,"bandwidth_bps":2e9,"v":2}`, g1.ID))
+	if !resp.OK || resp.Rate != 2e9 {
+		t.Fatalf("set_rate: %+v", resp)
+	}
+	resp = roundTrip(t, conn, fmt.Sprintf(`{"op":"set_weight","id":%d,"weight":3,"v":2}`, g2.ID))
+	if !resp.OK || resp.Rate != 6e9 {
+		t.Fatalf("set_weight: got rate %v, want 6e9 (3/4 of 8G spare): %+v", resp.Rate, resp)
+	}
+
+	// Mode mismatches are rejected with bad_request.
+	resp = roundTrip(t, conn, fmt.Sprintf(`{"op":"set_rate","id":%d,"bandwidth_bps":1e9,"v":2}`, g2.ID))
+	if resp.OK || resp.Code != CodeBadRequest {
+		t.Fatalf("set_rate on weighted grant: %+v", resp)
+	}
+	// Growing the absolute grant past capacity is refused and leaves the
+	// deployed rate unchanged.
+	resp = roundTrip(t, conn, fmt.Sprintf(`{"op":"set_rate","id":%d,"bandwidth_bps":99e9,"v":2}`, g1.ID))
+	if resp.OK || resp.Code != CodeInsufficientBandwidth {
+		t.Fatalf("oversubscribing set_rate: %+v", resp)
 	}
 }
 

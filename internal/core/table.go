@@ -11,16 +11,6 @@ import (
 	"aqueue/internal/trace"
 )
 
-// SetDenseTables enables or disables the dense AQ lookup layout in the
-// process default options, returning the previous setting.
-//
-// Deprecated: pass sim.WithDenseTables to sim.NewEngine (or build tables
-// with NewTableDense); this shim only changes the default consulted by
-// NewTable for tables constructed afterwards.
-func SetDenseTables(on bool) bool {
-	return sim.SetDefaultOptions(sim.WithDenseTables(on)).DenseTables
-}
-
 // Table is the per-pipeline AQ lookup table of a switch (§4.2): a map from
 // the AQ ID carried in the packet header to the deployed AQ state. A switch
 // has one table for its ingress pipeline and one for its egress pipeline.

@@ -136,4 +136,9 @@ func init() {
 		func(p harness.Params) (*harness.Result, error) {
 			return tables(ExtPerQueueTable(p.Horizon, p.Domains, p.Sim...)), nil
 		})
+	register("churn", "runtime tenant churn through the fabric service (aqsimd path)",
+		func(p harness.Params) (*harness.Result, error) {
+			phases, final := Churn(p.Horizon, p.Domains, p.Sim...)
+			return tables(phases, final), nil
+		})
 }

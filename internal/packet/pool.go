@@ -22,27 +22,12 @@ import (
 // simulator to that.
 var pool = sync.Pool{New: func() any { return new(Packet) }}
 
-// SetPooling enables or disables packet reuse in the process default
-// options (it is on by default). Disabling is only meant for A/B
-// determinism tests and debugging: Get falls back to the garbage collector
-// and Release becomes a no-op.
-//
-// Deprecated: pass sim.WithPooling to sim.NewEngine; this shim only
-// changes the default captured by engine pools created afterwards (and the
-// behaviour of the package-level Get/Release, which have no engine).
-func SetPooling(on bool) { sim.SetDefaultOptions(sim.WithPooling(on)) }
-
-// PoolingEnabled reports whether the default options enable packet reuse.
-func PoolingEnabled() bool { return sim.DefaultOptions().Pooling }
-
 // Get returns a zeroed packet from the pool. Prefer NewData/NewAck, which
 // also fill in the common header fields. Engine-bound components should
 // use their engine's Pool, which fixes the pooling choice at engine
-// construction; the package-level form consults the process default.
+// construction (sim.WithPooling) — that is the only way to disable reuse;
+// the package-level form always recycles.
 func Get() *Packet {
-	if !sim.DefaultOptions().Pooling {
-		return new(Packet)
-	}
 	p := pool.Get().(*Packet)
 	*p = Packet{}
 	debugAcquire(p)
@@ -54,7 +39,7 @@ func Get() *Packet {
 // once, and must not touch the packet afterwards. Under `-tags aqdebug`
 // the packet is poisoned on release and a double release panics.
 func Release(p *Packet) {
-	if p == nil || !sim.DefaultOptions().Pooling {
+	if p == nil {
 		return
 	}
 	debugRelease(p)

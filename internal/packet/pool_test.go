@@ -23,31 +23,12 @@ func TestReleaseNilIsNoop(t *testing.T) {
 	Release(nil)
 }
 
-func TestPoolingDefaultToggle(t *testing.T) {
-	prev := sim.SetDefaultOptions(sim.WithPooling(false))
-	defer sim.SetDefaultOptions(sim.WithPooling(prev.Pooling))
-	if PoolingEnabled() {
-		t.Fatal("PoolingEnabled() = true after disabling the default")
-	}
-	p := NewData(1, 2, 3, 0, 1000)
-	Release(p) // no-op when disabled
-	if p.Size != 1000+HeaderBytes {
-		t.Fatal("Release mutated packet while pooling disabled")
-	}
-	sim.SetDefaultOptions(sim.WithPooling(true))
-	if !PoolingEnabled() {
-		t.Fatal("PoolingEnabled() = false after re-enabling the default")
-	}
-}
-
 // TestEnginePoolFixedAtConstruction pins the options-first contract: an
-// engine's Pool captures the Pooling choice when the engine is built, so a
-// later default flip cannot change a live engine's recycling behaviour.
+// engine built with WithPooling(false) gets a Pool that never recycles —
+// the engine option is the only pooling switch left in the system.
 func TestEnginePoolFixedAtConstruction(t *testing.T) {
 	e := sim.NewEngine(sim.WithPooling(false))
 	pl := PoolFor(e)
-	prev := sim.SetDefaultOptions(sim.WithPooling(true))
-	defer sim.SetDefaultOptions(sim.WithPooling(prev.Pooling))
 	p := pl.NewData(1, 2, 3, 0, 1000)
 	pl.Release(p)
 	if p.Size != 1000+HeaderBytes {

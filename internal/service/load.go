@@ -1,0 +1,194 @@
+package service
+
+import (
+	"fmt"
+
+	"aqueue/internal/cc"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/stats"
+	"aqueue/internal/transport"
+	"aqueue/internal/workload"
+)
+
+// LoadSpec describes one open-loop workload driver: Poisson flow arrivals
+// at the given offered load (fraction of the guaranteed-link capacity),
+// sizes drawn from the named distribution, every flow tagged with the
+// tenant's granted AQ. It is the runtime analogue of what cmd/aqload
+// scripts up front.
+type LoadSpec struct {
+	Tenant string      `json:"tenant,omitempty"`
+	AQ     packet.AQID `json:"aq,omitempty"`   // ingress AQ tag (0 = untagged)
+	Kind   string      `json:"kind"`           // websearch | datamining | fixed
+	Size   int64       `json:"size,omitempty"` // bytes, kind "fixed" only
+	Load   float64     `json:"load"`           // fraction of fabric capacity
+	Seed   uint64      `json:"seed,omitempty"` // 0 derives one from the driver id
+	CC     string      `json:"cc,omitempty"`   // defaults to Config.CC
+}
+
+// Driver is one attached workload: an arrival process on the sender-side
+// engine spawning transport flows between random src/dst pairs. All its
+// callbacks run on the engine, so its state needs no locking as long as
+// attach/detach happen at window boundaries — which the Fabric/Service
+// contract guarantees.
+type Driver struct {
+	ID   uint32
+	spec LoadSpec
+
+	f       *Fabric
+	eng     *sim.Engine
+	rand    *sim.Rand
+	sizer   workload.Sizer
+	factory cc.Factory
+	ecn     bool
+	meanGap sim.Time
+
+	next      *sim.Event
+	stopped   bool
+	tracker   stats.FCT
+	doneBytes int64
+}
+
+func sizerFor(kind string, size int64) (workload.Sizer, error) {
+	switch kind {
+	case "websearch":
+		return workload.WebSearch{}, nil
+	case "datamining":
+		return workload.DataMining{}, nil
+	case "fixed":
+		if size <= 0 {
+			return nil, fmt.Errorf("service: kind \"fixed\" needs a positive size, got %d", size)
+		}
+		return workload.Fixed(size), nil
+	default:
+		return nil, fmt.Errorf("service: unknown workload kind %q", kind)
+	}
+}
+
+// Attach starts a driver at the current window boundary and returns it.
+// Arrivals are deterministic: the seed defaults to a function of the
+// driver id, so a scripted attach replays identically.
+func (f *Fabric) Attach(spec LoadSpec) (*Driver, error) {
+	if spec.Load <= 0 {
+		return nil, fmt.Errorf("service: attach needs a positive load, got %g", spec.Load)
+	}
+	sizer, err := sizerFor(spec.Kind, spec.Size)
+	if err != nil {
+		return nil, err
+	}
+	ccName := spec.CC
+	if ccName == "" {
+		ccName = f.cfg.CC
+	}
+	factory := cc.ByName(ccName)
+	if factory == nil {
+		return nil, fmt.Errorf("service: unknown cc algorithm %q", ccName)
+	}
+	id := f.nextID
+	f.nextID++
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 0x5eed<<32 | uint64(id)
+	}
+	mean := float64(0)
+	if s, ok := sizer.(interface{ MeanBytes() float64 }); ok {
+		mean = s.MeanBytes()
+	} else {
+		mean = float64(spec.Size)
+	}
+	loadRate := spec.Load * float64(f.capacity) / 8 // bytes per second offered
+	meanGap := sim.Time(mean / loadRate * 1e9)
+	if meanGap < 1 {
+		meanGap = 1
+	}
+	d := &Driver{
+		ID:      id,
+		spec:    spec,
+		f:       f,
+		eng:     f.srcs[0].Engine(),
+		rand:    sim.NewRand(seed),
+		sizer:   sizer,
+		factory: factory,
+		ecn:     ccName == "dctcp",
+		meanGap: meanGap,
+	}
+	f.drivers[id] = d
+	f.order = append(f.order, id)
+	d.arm()
+	return d, nil
+}
+
+// Detach stops a driver's arrival process at the current boundary;
+// in-flight flows run to completion. It reports whether the id named a
+// live (not yet detached) driver. The driver's statistics stay visible in
+// snapshots.
+func (f *Fabric) Detach(id uint32) bool {
+	d, ok := f.drivers[id]
+	if !ok || d.stopped {
+		return false
+	}
+	d.stopped = true
+	if d.next != nil {
+		d.next.Cancel()
+		d.next = nil
+	}
+	return true
+}
+
+// Driver returns an attached driver by id, nil if unknown.
+func (f *Fabric) Driver(id uint32) *Driver { return f.drivers[id] }
+
+func (d *Driver) arm() {
+	d.next = d.eng.After(d.rand.ExpTime(d.meanGap), d.fire)
+}
+
+func (d *Driver) fire() {
+	if d.stopped {
+		return
+	}
+	d.arm()
+	src := d.f.srcs[d.rand.Intn(len(d.f.srcs))]
+	dst := d.f.dsts[d.rand.Intn(len(d.f.dsts))]
+	size := d.sizer.Sample(d.rand)
+	start := d.eng.Now()
+	d.tracker.FlowStarted(size)
+	s := transport.NewSender(src, dst, size, d.factory(), transport.Options{
+		IngressAQ:  d.spec.AQ,
+		EcnCapable: d.ecn,
+	})
+	s.OnComplete = func(now sim.Time) {
+		d.tracker.FlowDone(start, now)
+		d.doneBytes += size
+	}
+	s.Start(0)
+}
+
+// DriverSnap is a driver's slice of a telemetry snapshot.
+type DriverSnap struct {
+	ID         uint32  `json:"id"`
+	Tenant     string  `json:"tenant,omitempty"`
+	Kind       string  `json:"kind"`
+	Load       float64 `json:"load"`
+	AQ         uint32  `json:"aq,omitempty"`
+	Active     bool    `json:"active"`
+	Started    int     `json:"started"`
+	Completed  int     `json:"completed"`
+	AckedBytes int64   `json:"acked_bytes"`
+	MeanFCTNS  int64   `json:"mean_fct_ns"`
+}
+
+// Snap summarises the driver.
+func (d *Driver) Snap() DriverSnap {
+	return DriverSnap{
+		ID:         d.ID,
+		Tenant:     d.spec.Tenant,
+		Kind:       d.spec.Kind,
+		Load:       d.spec.Load,
+		AQ:         uint32(d.spec.AQ),
+		Active:     !d.stopped,
+		Started:    d.tracker.Started,
+		Completed:  d.tracker.Completed,
+		AckedBytes: d.doneBytes,
+		MeanFCTNS:  int64(d.tracker.MeanFCT()),
+	}
+}

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+
+	"aqueue/internal/control"
+)
+
+// testDaemon is one wire-served service instance plus a first client.
+type testDaemon struct {
+	cli  *control.Client
+	s    *Service
+	addr string
+	done func()
+}
+
+// dialService starts a service daemon on a loopback listener and returns
+// a connected client plus the daemon handles.
+func dialService(t *testing.T, cfg Config, run RunConfig) testDaemon {
+	t.Helper()
+	f, err := NewFabric(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Start(f, run)
+	ws := control.NewWireServer(s.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); ws.Serve(ln) }()
+	s.SetOnQuit(func() { ws.Close() })
+	cli, err := control.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return testDaemon{cli: cli, s: s, addr: ln.Addr().String(), done: func() {
+		cli.Close()
+		ws.Close()
+		select {
+		case <-s.Done():
+		default:
+			s.Quit()
+		}
+		<-serveDone
+	}}
+}
+
+// TestServiceWireSession drives the full live-session flow the CI smoke
+// scripts: hello, grant, attach, step, stats, reconfigure, trace,
+// fingerprint, detach, release, quit.
+func TestServiceWireSession(t *testing.T) {
+	td := dialService(t, testConfig(), RunConfig{StartPaused: true})
+	defer td.done()
+	cli, s := td.cli, td.s
+
+	hello, err := cli.Do(control.WireRequest{Op: "hello", V: 2})
+	if err != nil || hello.V != control.ProtoMax {
+		t.Fatalf("hello: %+v err %v", hello, err)
+	}
+
+	grant, err := cli.Do(control.WireRequest{Op: "grant", V: 2, Tenant: "t1",
+		Mode: "weighted", Weight: 1, Switch: "S1"})
+	if err != nil || grant.ID == 0 {
+		t.Fatalf("grant: %+v err %v", grant, err)
+	}
+
+	attach, err := cli.Do(control.WireRequest{Op: "attach", V: 2, Tenant: "t1",
+		ID: grant.ID, Kind: "fixed", Size: 30_000, Load: 0.5})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	driverID := attach.ID
+
+	step, err := cli.Do(control.WireRequest{Op: "step", V: 2, Count: 10})
+	if err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	var after Snapshot
+	if err := json.Unmarshal(step.Data, &after); err != nil {
+		t.Fatalf("step payload: %v", err)
+	}
+	if after.Window != 10 {
+		t.Fatalf("stepped to window %d, want 10", after.Window)
+	}
+
+	stats, err := cli.Do(control.WireRequest{Op: "stats", V: 2})
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(stats.Data, &snap); err != nil {
+		t.Fatalf("stats payload: %v", err)
+	}
+	if len(snap.Tenants) != 1 || snap.Tenants[0].Tenant != "t1" {
+		t.Fatalf("tenants: %+v", snap.Tenants)
+	}
+	if len(snap.Drivers) != 1 || snap.Drivers[0].Started == 0 {
+		t.Fatalf("drivers: %+v", snap.Drivers)
+	}
+	foundSeries := false
+	for _, p := range snap.Pipes {
+		if len(p.Series) > 0 && p.Meter != nil {
+			foundSeries = true
+		}
+	}
+	if !foundSeries {
+		t.Fatalf("full snapshot lacks meter series: %+v", snap.Pipes)
+	}
+
+	rec, err := cli.Do(control.WireRequest{Op: "set_weight", V: 2, ID: grant.ID, Weight: 4})
+	if err != nil || rec.Rate == 0 {
+		t.Fatalf("set_weight: %+v err %v", rec, err)
+	}
+
+	tr, err := cli.Do(control.WireRequest{Op: "trace", V: 2, Count: 20})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var tail struct {
+		Events []TraceEvent `json:"events"`
+	}
+	if err := json.Unmarshal(tr.Data, &tail); err != nil {
+		t.Fatalf("trace payload: %v", err)
+	}
+	if len(tail.Events) == 0 || len(tail.Events) > 20 {
+		t.Fatalf("trace tail has %d events", len(tail.Events))
+	}
+
+	fp1, err := cli.Do(control.WireRequest{Op: "fingerprint", V: 2})
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	var fp struct {
+		Window      uint64 `json:"window"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(fp1.Data, &fp); err != nil || fp.Fingerprint == "" {
+		t.Fatalf("fingerprint payload %s: %v", fp1.Data, err)
+	}
+
+	if _, err := cli.Do(control.WireRequest{Op: "detach", V: 2, ID: driverID}); err != nil {
+		t.Fatalf("detach: %v", err)
+	}
+	if _, err := cli.Do(control.WireRequest{Op: "release", V: 2, ID: grant.ID}); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+
+	quit, err := cli.Do(control.WireRequest{Op: "quit", V: 2})
+	if err != nil || !quit.OK {
+		t.Fatalf("quit: %+v err %v", quit, err)
+	}
+	<-s.Done()
+}
+
+func TestServiceWireErrors(t *testing.T) {
+	td := dialService(t, testConfig(), RunConfig{})
+	defer td.done()
+	cli := td.cli
+
+	cases := []struct {
+		req  control.WireRequest
+		code string
+	}{
+		{control.WireRequest{Op: "transmogrify", V: 2}, control.CodeUnknownOp},
+		{control.WireRequest{Op: "step", V: 2}, control.CodeNotPaused},
+		{control.WireRequest{Op: "detach", V: 2, ID: 99}, control.CodeUnknownID},
+		{control.WireRequest{Op: "attach", V: 2, Kind: "websearch"}, control.CodeBadRequest},
+		{control.WireRequest{Op: "attach", V: 2, Kind: "nope", Load: 0.5}, control.CodeBadRequest},
+		{control.WireRequest{Op: "release", V: 2, ID: 42}, control.CodeUnknownID},
+		{control.WireRequest{Op: "grant", V: 2, Mode: "weighted", Weight: 1, Switch: "S9"}, control.CodeUnknownTable},
+	}
+	for _, c := range cases {
+		resp, _ := cli.Do(c.req)
+		if resp.OK || resp.Code != c.code {
+			t.Errorf("%s: got %+v, want code %q", c.req.Op, resp, c.code)
+		}
+	}
+
+	// advance must reject a target that is not ahead of the clock.
+	resp, _ := cli.Do(control.WireRequest{Op: "advance", V: 2, UntilNS: 1})
+	if resp.OK || resp.Code != control.CodeBadRequest {
+		t.Fatalf("advance into past: %+v", resp)
+	}
+
+	// Malformed JSON gets a malformed code and the connection survives.
+	raw, _, done2 := rawConn(t)
+	defer done2()
+	if _, err := raw.Write([]byte("{broken\n")); err != nil {
+		t.Fatal(err)
+	}
+	rcli := control.NewClient(raw)
+	bad, _ := rcli.Recv()
+	if bad.OK || bad.Code != control.CodeMalformed {
+		t.Fatalf("malformed: %+v", bad)
+	}
+	good, err := rcli.Do(control.WireRequest{Op: "list", V: 2})
+	if err != nil || !good.OK {
+		t.Fatalf("connection died after malformed line: %+v err %v", good, err)
+	}
+}
+
+// rawConn starts a free-running service and returns a raw TCP connection.
+func rawConn(t *testing.T) (net.Conn, *Service, func()) {
+	t.Helper()
+	f, err := NewFabric(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Start(f, RunConfig{})
+	ws := control.NewWireServer(s.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, s, func() { conn.Close(); ws.Close(); s.Quit() }
+}
+
+// TestServiceWireWatchStream checks the multi-response streaming verb:
+// one watch request yields Count boundary snapshots with advancing
+// windows.
+func TestServiceWireWatchStream(t *testing.T) {
+	td := dialService(t, testConfig(), RunConfig{})
+	defer td.done()
+	cli := td.cli
+
+	resp, err := cli.Do(control.WireRequest{Op: "watch", V: 2, Count: 3})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	var prev Snapshot
+	if err := json.Unmarshal(resp.Data, &prev); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		resp, err = cli.Recv()
+		if err != nil {
+			t.Fatalf("watch frame %d: %v", i, err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(resp.Data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Window <= prev.Window {
+			t.Fatalf("watch windows not advancing: %d then %d", prev.Window, snap.Window)
+		}
+		prev = snap
+	}
+	// The connection is usable for ordinary requests after the stream.
+	if _, err := cli.Do(control.WireRequest{Op: "list", V: 2}); err != nil {
+		t.Fatalf("list after watch: %v", err)
+	}
+}
+
+// TestServiceWireConcurrentMutators hammers one tenant's grant from many
+// clients while the fabric free-runs: every mutation must serialize
+// through the mailbox without tripping the race detector, and the grant
+// must stay consistent.
+func TestServiceWireConcurrentMutators(t *testing.T) {
+	td := dialService(t, testConfig(), RunConfig{})
+	defer td.done()
+	cli := td.cli
+
+	grant, err := cli.Do(control.WireRequest{Op: "grant", V: 2, Tenant: "shared",
+		Mode: "weighted", Weight: 1, Switch: "S1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c2, err := control.Dial(td.addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c2.Close()
+			for j := 0; j < 10; j++ {
+				var err error
+				if i%2 == 0 {
+					_, err = c2.Do(control.WireRequest{Op: "set_weight", V: 2,
+						ID: grant.ID, Weight: float64(1 + j%3)})
+				} else {
+					active := j%2 == 0
+					_, err = c2.Do(control.WireRequest{Op: "set_active", V: 2,
+						ID: grant.ID, Active: &active})
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	list, err := cli.Do(control.WireRequest{Op: "list", V: 2})
+	if err != nil || len(list.IDs) != 1 || list.IDs[0] != grant.ID {
+		t.Fatalf("grant table corrupted: %+v err %v", list, err)
+	}
+}

@@ -1,14 +1,12 @@
 package sim
 
-import "sync/atomic"
-
 // Engine configuration. Every feature knob that used to be a package-global
 // toggle (dense AQ tables, dense forwarding, the timer-wheel lane, packet
 // pooling) plus the burst-drain size is carried by an Options value fixed at
 // engine construction: two engines in one process can run with different
 // configurations, and nothing a test flips can leak into an engine built
-// elsewhere. Process-wide defaults exist only as the compatibility surface
-// behind the deprecated Set* shims in core, topo, and packet.
+// elsewhere. The deprecated Set* shims (and the mutable process defaults
+// behind them) are gone; DefaultOptions is a constant.
 
 // Options is the per-engine feature configuration. The zero value is NOT
 // the default configuration — use DefaultOptions (or just NewEngine, which
@@ -65,54 +63,16 @@ func WithBurstSize(n int) Option {
 // pipe owning the whole window; 64 mirrors the DPDK burst convention.
 const DefaultBurstSize = 64
 
-// The process-wide default options, read once per NewEngine and mutated
-// only through SetDefaultOptions (i.e. the deprecated Set* shims). Stored
-// as individual atomics so concurrent harness workers can build engines
-// while a (badly behaved) caller flips a default.
-var (
-	defDenseTables     atomic.Bool
-	defDenseForwarding atomic.Bool
-	defTimerWheel      atomic.Bool
-	defPooling         atomic.Bool
-	defBurstSize       atomic.Int64
-)
-
-func init() {
-	defDenseTables.Store(true)
-	defDenseForwarding.Store(true)
-	defTimerWheel.Store(true)
-	defPooling.Store(true)
-	defBurstSize.Store(DefaultBurstSize)
-}
-
-// DefaultOptions returns the process-wide default engine configuration:
-// everything on, BurstSize = DefaultBurstSize, unless a deprecated shim
-// changed a default.
+// DefaultOptions returns the default engine configuration: everything on,
+// BurstSize = DefaultBurstSize. It is a pure constant — there is no way to
+// change the defaults process-wide; callers that want a different
+// configuration pass With* options to NewEngine or NewCluster.
 func DefaultOptions() Options {
 	return Options{
-		DenseTables:     defDenseTables.Load(),
-		DenseForwarding: defDenseForwarding.Load(),
-		TimerWheel:      defTimerWheel.Load(),
-		Pooling:         defPooling.Load(),
-		BurstSize:       int(defBurstSize.Load()),
+		DenseTables:     true,
+		DenseForwarding: true,
+		TimerWheel:      true,
+		Pooling:         true,
+		BurstSize:       DefaultBurstSize,
 	}
-}
-
-// SetDefaultOptions applies opts to the process-wide defaults consulted by
-// NewEngine (and by the few package-level call sites with no engine in
-// reach, like packet.Get), returning the previous defaults. It exists for
-// the deprecated Set* shims; new code should pass Options to NewEngine or
-// NewCluster instead.
-func SetDefaultOptions(opts ...Option) Options {
-	prev := DefaultOptions()
-	next := prev
-	for _, f := range opts {
-		f(&next)
-	}
-	defDenseTables.Store(next.DenseTables)
-	defDenseForwarding.Store(next.DenseForwarding)
-	defTimerWheel.Store(next.TimerWheel)
-	defPooling.Store(next.Pooling)
-	defBurstSize.Store(int64(next.BurstSize))
-	return prev
 }

@@ -12,18 +12,6 @@ func TestDefaultOptionsEverythingOn(t *testing.T) {
 	}
 }
 
-func TestSetDefaultOptionsReturnsPrevious(t *testing.T) {
-	prev := SetDefaultOptions(WithTimerWheel(false), WithBurstSize(7))
-	defer SetDefaultOptions(WithTimerWheel(prev.TimerWheel), WithBurstSize(prev.BurstSize))
-	if o := DefaultOptions(); o.TimerWheel || o.BurstSize != 7 {
-		t.Fatalf("defaults after set: %+v", o)
-	}
-	restored := SetDefaultOptions(WithTimerWheel(prev.TimerWheel), WithBurstSize(prev.BurstSize))
-	if restored.TimerWheel || restored.BurstSize != 7 {
-		t.Fatalf("second set returned %+v, want the values the first set installed", restored)
-	}
-}
-
 func TestNewEngineCapturesOptionsAtConstruction(t *testing.T) {
 	e := NewEngine(WithTimerWheel(false), WithBurstSize(3), WithPooling(false))
 	o := e.Options()
@@ -33,13 +21,9 @@ func TestNewEngineCapturesOptionsAtConstruction(t *testing.T) {
 	if e.wheel != nil {
 		t.Fatal("wheel lane built despite WithTimerWheel(false)")
 	}
-	// An engine snapshots the defaults when built; later default flips are
-	// invisible to it.
-	e2 := NewEngine()
-	prev := SetDefaultOptions(WithBurstSize(1))
-	defer SetDefaultOptions(WithBurstSize(prev.BurstSize))
-	if e2.Options().BurstSize != prev.BurstSize {
-		t.Fatalf("live engine saw a default flip: BurstSize = %d", e2.Options().BurstSize)
+	// A bare engine gets exactly the constant defaults.
+	if e2 := NewEngine(); e2.Options() != DefaultOptions() {
+		t.Fatalf("bare engine options = %+v, want DefaultOptions", e2.Options())
 	}
 }
 

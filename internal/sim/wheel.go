@@ -39,17 +39,6 @@ const (
 	wheelLevels = 7              // 64^7 ns ≈ 73 simulated minutes of span
 )
 
-// SetTimerWheel enables or disables the wheel timer lane in the process
-// default options, returning the previous setting. With the wheel off,
-// Timer handles fall back to heap events (Reschedule/Cancel), which is the
-// reference ordering the wheel must reproduce byte-identically.
-//
-// Deprecated: pass WithTimerWheel to NewEngine (or NewCluster) instead;
-// this shim only changes the default for engines constructed afterwards.
-func SetTimerWheel(on bool) bool {
-	return SetDefaultOptions(WithTimerWheel(on)).TimerWheel
-}
-
 // Timer is a cancellable, re-armable timer handle on the engine's wheel
 // lane. Create one with Engine.NewTimer, then Arm/Rearm and Disarm it
 // freely: all three are O(1), none allocates after construction, and a

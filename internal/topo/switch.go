@@ -10,16 +10,6 @@ import (
 	"aqueue/internal/trace"
 )
 
-// SetDenseForwarding enables or disables the dense forwarding layout in the
-// process default options, returning the previous setting.
-//
-// Deprecated: pass sim.WithDenseForwarding to sim.NewEngine (or
-// sim.NewCluster); this shim only changes the default captured by switches
-// and hosts constructed afterwards.
-func SetDenseForwarding(on bool) bool {
-	return sim.SetDefaultOptions(sim.WithDenseForwarding(on)).DenseForwarding
-}
-
 // Switch is a store-and-forward switch with per-destination routing and the
 // two AQ match points of §4.2: the ingress pipeline (matched on the
 // packet's IngressAQ tag when the packet arrives) and the egress pipeline
