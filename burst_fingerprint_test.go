@@ -20,7 +20,7 @@ import (
 func runBurstSweep(t *testing.T, burst, domains int, extra ...sim.Option) []*harness.Result {
 	t.Helper()
 	opts := append([]sim.Option{sim.WithBurstSize(burst)}, extra...)
-	jobs := domainJobs(t, domains, opts...)
+	jobs := domainJobs(t, domains, false, opts...)
 	if len(jobs) < 14 {
 		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
 	}

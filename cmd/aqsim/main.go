@@ -40,6 +40,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text|csv|none")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	domains := flag.Int("domains", 1, "partition each run's topology into this many time-synced simulation domains (results are byte-identical for any value)")
+	parallelDomains := flag.Bool("parallel-domains", false, "advance each run's domains on worker goroutines (needs -domains >= 2; results are byte-identical either way)")
 	seeds := flag.String("seeds", "", "comma-separated seeds for a multi-seed sweep (overrides -seed)")
 	parallel := flag.Int("parallel", 1, "concurrent runs (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write a JSON results report to this path")
@@ -93,6 +94,7 @@ func main() {
 	base := experiments.DefaultParams(*quick)
 	base.Seed = *seed
 	base.Domains = *domains
+	base.Parallel = *parallelDomains
 	seedList, err := parseSeeds(*seeds)
 	if err != nil {
 		fatalf("bad -seeds: %v", err)

@@ -57,6 +57,9 @@ type metrics struct {
 		Domains          int      `json:"domains"`
 		SingleNS         *float64 `json:"single_ns"`
 		PartitionedNS    *float64 `json:"partitioned_ns"`
+		Windows          *float64 `json:"windows"`
+		BarrierNS        *float64 `json:"barrier_ns"`
+		Utilization      *float64 `json:"utilization"`
 		ParallelMeasured bool     `json:"parallel_measured"`
 		Identical        *bool    `json:"identical"`
 	} `json:"fattree"`
@@ -131,6 +134,15 @@ func report(w io.Writer, oldPath, newPath string) error {
 	row(w, "fat-tree partitioned ns/op",
 		fieldOf(o.FatTree, func() *float64 { return o.FatTree.PartitionedNS }),
 		fieldOf(n.FatTree, func() *float64 { return n.FatTree.PartitionedNS }))
+	row(w, "fat-tree windows/run",
+		fieldOf(o.FatTree, func() *float64 { return o.FatTree.Windows }),
+		fieldOf(n.FatTree, func() *float64 { return n.FatTree.Windows }))
+	row(w, "fat-tree barrier ns/op",
+		fieldOf(o.FatTree, func() *float64 { return o.FatTree.BarrierNS }),
+		fieldOf(n.FatTree, func() *float64 { return n.FatTree.BarrierNS }))
+	row(w, "fat-tree utilization",
+		fieldOf(o.FatTree, func() *float64 { return o.FatTree.Utilization }),
+		fieldOf(n.FatTree, func() *float64 { return n.FatTree.Utilization }))
 	boolRow(w, "fat-tree identical",
 		fieldOf(o.FatTree, func() *bool { return o.FatTree.Identical }),
 		fieldOf(n.FatTree, func() *bool { return n.FatTree.Identical }))

@@ -41,6 +41,9 @@ func TestReportToleratesV1Records(t *testing.T) {
 		"timers identical",
 		"fat-tree single-engine ns/op",
 		"fat-tree partitioned ns/op",
+		"fat-tree windows/run",
+		"fat-tree barrier ns/op",
+		"fat-tree utilization",
 		"fat-tree identical",
 	} {
 		line := lineWith(t, out, want)
@@ -136,6 +139,25 @@ func TestReportNormalizationNeedsBothEngines(t *testing.T) {
 		`{"schema":"s1","current":{"engine":{"ns_per_event":20},"forwarding":{"ns_per_packet":520}}}`)
 	if strings.Contains(out, "speed-normalized") {
 		t.Fatalf("normalization row printed without baseline engine data:\n%s", out)
+	}
+}
+
+// TestReportFatTreeSyncRowsPresenceAware pins the per-row degradation for
+// the sync-cost columns: a baseline whose fattree section carries windows
+// but predates barrier_ns/utilization diffs the windows row normally while
+// the newer rows degrade to incomparable.
+func TestReportFatTreeSyncRowsPresenceAware(t *testing.T) {
+	out := renderPair(t,
+		`{"schema":"s1","current":{"fattree":{"windows":2000,"single_ns":10,"partitioned_ns":20,"identical":true}}}`,
+		`{"schema":"s1","current":{"fattree":{"windows":1000,"barrier_ns":5000000,"utilization":0.5,"single_ns":10,"partitioned_ns":20,"identical":true}}}`)
+	if line := lineWith(t, out, "fat-tree windows/run"); !strings.Contains(line, "-50.0%") {
+		t.Errorf("windows row should diff normally:\n%s", line)
+	}
+	if line := lineWith(t, out, "fat-tree barrier ns/op"); !strings.Contains(line, "incomparable") {
+		t.Errorf("barrier row must degrade when the baseline predates it:\n%s", line)
+	}
+	if line := lineWith(t, out, "fat-tree utilization"); !strings.Contains(line, "incomparable") {
+		t.Errorf("utilization row must degrade when the baseline predates it:\n%s", line)
 	}
 }
 

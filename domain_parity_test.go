@@ -17,12 +17,13 @@ import (
 // domainJobs builds one job per registered experiment at quick parameters
 // with the horizon cut further (the sweepJobs trick), partitioned into the
 // given number of domains and carrying the given engine options per job.
-func domainJobs(t *testing.T, domains int, opts ...sim.Option) []harness.Job {
+func domainJobs(t *testing.T, domains int, parallel bool, opts ...sim.Option) []harness.Job {
 	t.Helper()
 	base := experiments.DefaultParams(true)
 	base.Horizon = 20 * sim.Millisecond
 	base.Flows = 4
 	base.Domains = domains
+	base.Parallel = parallel
 	base.Sim = opts
 	jobs, err := harness.Jobs(harness.Names(), nil, base)
 	if err != nil {
@@ -35,9 +36,9 @@ func domainJobs(t *testing.T, domains int, opts ...sim.Option) []harness.Job {
 // of domains and returns the results. The pool runs one worker: parity
 // needs identical runs, and the domains themselves advance cooperatively
 // inside each run.
-func runSweep(t *testing.T, domains int, opts ...sim.Option) []*harness.Result {
+func runSweep(t *testing.T, domains int, parallel bool, opts ...sim.Option) []*harness.Result {
 	t.Helper()
-	jobs := domainJobs(t, domains, opts...)
+	jobs := domainJobs(t, domains, parallel, opts...)
 	if len(jobs) < 14 {
 		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
 	}
@@ -64,9 +65,9 @@ func TestDomainRunsFingerprintMatchSingleEngine(t *testing.T) {
 				sim.WithDenseTables(layout.dense),
 				sim.WithDenseForwarding(layout.dense),
 			}
-			single := runSweep(t, 1, opts...)
+			single := runSweep(t, 1, false, opts...)
 			for _, domains := range []int{2, 4} {
-				parted := runSweep(t, domains, opts...)
+				parted := runSweep(t, domains, false, opts...)
 				for i := range single {
 					sf, pf := harness.Fingerprint(single[i]), harness.Fingerprint(parted[i])
 					if sf != pf {
@@ -76,5 +77,30 @@ func TestDomainRunsFingerprintMatchSingleEngine(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelDomainsFingerprintMatchSingleEngine is the parallel-execution
+// determinism gate: every quick-sweep scenario, split across 2 and 4
+// domains and advanced on the cluster's persistent worker goroutines
+// (Params.Parallel), must still fingerprint byte-identically to the
+// cooperative single-engine run. CI runs this gate under -race, so it also
+// proves that the only cross-domain traffic under workers is the mailbox
+// hand-off at round barriers — any other shared write is a detected race.
+func TestParallelDomainsFingerprintMatchSingleEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep three times")
+	}
+
+	single := runSweep(t, 1, false)
+	for _, domains := range []int{2, 4} {
+		parted := runSweep(t, domains, true)
+		for i := range single {
+			sf, pf := harness.Fingerprint(single[i]), harness.Fingerprint(parted[i])
+			if sf != pf {
+				t.Errorf("%s: parallel %d-domain fingerprint differs from single-engine\nsingle: %s\n%d-dom: %s",
+					single[i].Name, domains, sf, domains, pf)
+			}
+		}
 	}
 }

@@ -7,6 +7,7 @@
 package benchcore
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -341,6 +342,23 @@ type FatTreeResult struct {
 	Windows          uint64  `json:"windows"`
 	ParallelMeasured bool    `json:"parallel_measured"`
 	Speedup          float64 `json:"speedup,omitempty"`
+	// The sync-cost breakdown of the partitioned pass, from
+	// sim.Cluster.SyncStats: FlushedMsgs counts boundary deliveries moved at
+	// round barriers, BarrierNS is wall time spent in barrier/flush/bound
+	// work rather than inside domains, AdvanceNS the whole partitioned
+	// wall. These are host wall-clock figures — they never feed simulated
+	// results — and they are what the windows-per-run reduction is gated on
+	// when a parallel speedup cannot be measured.
+	Flushes     uint64 `json:"flushes"`
+	FlushedMsgs uint64 `json:"flushed_msgs"`
+	BarrierNS   int64  `json:"barrier_ns"`
+	AdvanceNS   int64  `json:"advance_ns"`
+	// DomainLoads is the per-domain busy breakdown of the partitioned pass;
+	// Utilization is sum(busy)/(domains × partitioned wall) — near 1/domains
+	// on a cooperative pass, approaching 1.0 on a well-balanced parallel
+	// pass.
+	DomainLoads []sim.DomainLoad `json:"domain_loads,omitempty"`
+	Utilization float64          `json:"utilization,omitempty"`
 	// Identical reports whether the partitioned run delivered exactly the
 	// same traffic as the single-engine run — the cross-domain determinism
 	// check at benchmark scope.
@@ -348,15 +366,36 @@ type FatTreeResult struct {
 	Note      string `json:"note,omitempty"`
 }
 
+// SpeedupTarget is the acceptance bar for a measured parallel pass on a
+// wide (k >= 8) fabric: the partitioned run must beat the single engine by
+// at least this factor, or the benchmark run fails.
+const SpeedupTarget = 2.0
+
+// CheckSpeedup enforces the parallel acceptance bar. It applies only to
+// results whose parallel pass was actually measured (GOMAXPROCS >= domains)
+// on a k >= 8 fabric; cooperative passes and small fabrics return nil, so
+// the gate arms itself automatically the moment the host has the cores.
+func (r FatTreeResult) CheckSpeedup() error {
+	if !r.ParallelMeasured || r.K < 8 {
+		return nil
+	}
+	if r.Speedup < SpeedupTarget {
+		return fmt.Errorf("benchcore: parallel k=%d fat tree across %d domains reached %.2fx, below the %.1fx bar",
+			r.K, r.Domains, r.Speedup, SpeedupTarget)
+	}
+	return nil
+}
+
 // RunFatTree drives a k-ary fat tree partitioned into the given number of
 // domains: every host opens one long CUBIC flow to its counterpart two pods
 // over, so all traffic crosses the core and every agg<->core boundary
 // mailbox carries load. The workload is setup-only (no runtime callbacks
 // reach across domains), which is what makes the parallel window mode sound
-// for it. It returns total delivered data packets and the number of sync
-// windows the cluster ran.
-func RunFatTree(k int, horizon sim.Time, domains int, parallel bool) (delivered uint64, windows uint64) {
+// for it. It returns total delivered data packets and the cluster's sync
+// accounting (rounds, flushes, barrier cost, per-domain load).
+func RunFatTree(k int, horizon sim.Time, domains int, parallel bool) (delivered uint64, stats sim.SyncStats) {
 	c := sim.NewCluster(domains)
+	defer c.Close()
 	c.SetParallel(parallel)
 	spec := topo.DefaultSim()
 	f := topo.NewFatTreeIn(c, k, spec, spec)
@@ -371,7 +410,7 @@ func RunFatTree(k int, horizon sim.Time, domains int, parallel bool) (delivered 
 	for _, h := range f.Hosts {
 		delivered += h.RxPackets
 	}
-	return delivered, c.Windows
+	return delivered, c.SyncStats()
 }
 
 // MeasureFatTree times the fat-tree scenario single-engine vs partitioned.
@@ -396,9 +435,21 @@ func MeasureFatTree(k int, horizon sim.Time, domains int) FatTreeResult {
 		r.Note = "GOMAXPROCS < domains: partitioned pass ran cooperatively; a parallel speedup cannot be measured on this host"
 	}
 	start = time.Now()
-	parted, windows := RunFatTree(k, horizon, domains, r.ParallelMeasured)
+	parted, sync := RunFatTree(k, horizon, domains, r.ParallelMeasured)
 	r.PartitionedNS = time.Since(start).Nanoseconds()
-	r.Windows = windows
+	r.Windows = sync.Windows
+	r.Flushes = sync.Flushes
+	r.FlushedMsgs = sync.FlushedMsgs
+	r.BarrierNS = sync.BarrierNS
+	r.AdvanceNS = sync.AdvanceNS
+	r.DomainLoads = sync.Domains
+	if r.PartitionedNS > 0 && len(sync.Domains) > 0 {
+		var busy int64
+		for _, d := range sync.Domains {
+			busy += d.BusyNS
+		}
+		r.Utilization = float64(busy) / (float64(r.PartitionedNS) * float64(len(sync.Domains)))
+	}
 	r.Identical = parted == single
 	if r.ParallelMeasured && r.PartitionedNS > 0 {
 		r.Speedup = float64(r.SingleNS) / float64(r.PartitionedNS)

@@ -30,6 +30,7 @@ type CCShareResult struct {
 // domains selects how many conservative time-synced engines carry the run.
 func runCCShare(approach Approach, entities []ccEntity, horizon sim.Time, seed uint64, domains int, opts []sim.Option) []CCShareResult {
 	c := newClusterN(domains, opts...)
+	defer c.Close()
 	spec := simSpec()
 	m := len(entities)
 	hostsPer := 2

@@ -35,6 +35,7 @@ func fabricSpecs() (edge, fab topo.LinkSpec) {
 func ExtFabricIsolation(horizon sim.Time, domains int, opts ...sim.Option) (pqA, pqB, aqA, aqB float64) {
 	run := func(useAQ bool) (float64, float64) {
 		c := newClusterN(domains, opts...)
+		defer c.Close()
 		edge, fab := fabricSpecs()
 		f := topo.NewLeafSpineIn(c, 2, 2, 4, edge, fab)
 		// Entity A: hosts 0,1 (leaf 0) -> hosts 4,5 (leaf 1).
@@ -86,6 +87,7 @@ func ExtFabricIsolation(horizon sim.Time, domains int, opts ...sim.Option) (pqA,
 func ExtFabricIncast(horizon sim.Time, domains int, opts ...sim.Option) (pqGbps, aqGbps float64) {
 	run := func(useAQ bool) float64 {
 		c := newClusterN(domains, opts...)
+		defer c.Close()
 		edge, fab := fabricSpecs()
 		f := topo.NewLeafSpineIn(c, 3, 2, 3, edge, fab)
 		victim := f.Hosts[0]

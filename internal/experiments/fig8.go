@@ -15,6 +15,7 @@ import (
 // weights sets the A:B share when AQ is used.
 func fig8Run(approach Approach, nB int, wA, wB float64, horizon sim.Time, domains int, opts []sim.Option) (float64, float64) {
 	c := newClusterN(domains, opts...)
+	defer c.Close()
 	spec := simSpec()
 	d := topo.NewDumbbellIn(c, 2, 2, spec, spec)
 	rc := newRxClassifier(d.Right, 2, sim.Millisecond, func(p *packet.Packet) int {

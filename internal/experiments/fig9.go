@@ -36,6 +36,7 @@ type Fig9Result struct {
 // join (weighted mode, §4.1).
 func fig9Run(approach Approach, phase sim.Time, domains int, opts []sim.Option) Fig9Result {
 	c := newClusterN(domains, opts...)
+	defer c.Close()
 	spec := simSpec()
 	n := len(Fig9Entities)
 	d := topo.NewDumbbellIn(c, n, n, spec, spec)

@@ -27,6 +27,7 @@ import (
 func ExtPerEntityQueues(entities, hwQueues int, horizon sim.Time, domains int, opts ...sim.Option) (drrJain, aqJain float64) {
 	run := func(useAQ bool) float64 {
 		c := newClusterN(domains, opts...)
+		defer c.Close()
 		spec := simSpec()
 		d := topo.NewDumbbellIn(c, entities, entities, spec, spec)
 		if !useAQ {

@@ -34,6 +34,7 @@ func table3Run(approach Approach, seed uint64, domains int, opts []sim.Option) T
 // table3RunFor is table3Run with an explicit horizon (tests shorten it).
 func table3RunFor(approach Approach, seed uint64, horizon sim.Time, domains int, opts []sim.Option) Table3Row {
 	c := newClusterN(domains, opts...)
+	defer c.Close()
 	spec := testbedSpec()
 	st := topo.NewStarIn(c, 4, spec)
 	warmup := horizon / 4

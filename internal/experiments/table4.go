@@ -35,6 +35,7 @@ func table4Run(ccName string, useAQ bool, domains int, opts []sim.Option) (float
 // table4RunFor is table4Run with an explicit horizon (tests shorten it).
 func table4RunFor(ccName string, useAQ bool, horizon sim.Time, domains int, opts []sim.Option) (float64, *stats.Percentiles) {
 	c := newClusterN(domains, opts...)
+	defer c.Close()
 	const (
 		qLimit = 1000 * 1000
 		ecnK   = 160 * 1000

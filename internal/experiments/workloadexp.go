@@ -31,6 +31,7 @@ type wlSpec struct {
 // four approaches differ.
 func wlRun(approach Approach, specs []wlSpec, seed uint64, domains int, opts []sim.Option) []sim.Time {
 	c := newClusterN(domains, opts...)
+	defer c.Close()
 	spec := simSpec()
 	totalVMs := 0
 	for _, s := range specs {

@@ -36,6 +36,14 @@ type Params struct {
 	// value — the knob trades nothing but execution strategy — which is
 	// why Fingerprint excludes it.
 	Domains int `json:"domains,omitempty"`
+	// Parallel advances a partitioned run's domains on the cluster's
+	// persistent worker goroutines instead of cooperatively (see
+	// sim.Cluster.SetParallel). Like Domains it trades only execution
+	// strategy — results stay byte-identical, which the parallel parity
+	// gate enforces under the race detector — so Fingerprint excludes it
+	// too. The runner applies it by appending sim.WithParallelDomains to
+	// the job's Sim options.
+	Parallel bool `json:"parallel,omitempty"`
 	// Sim overrides engine options (dense layouts, timer wheel, pooling,
 	// burst size) for the experiment's engines. Like Domains, every knob
 	// here trades only execution strategy — results are byte-identical for

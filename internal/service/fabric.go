@@ -42,6 +42,17 @@ type Config struct {
 	// Domains partitions the fabric into conservative time-synced
 	// simulation domains; results are byte-identical for any value.
 	Domains int
+	// Parallel advances the partitioned domains on the cluster's
+	// persistent worker goroutines instead of cooperatively. Results stay
+	// byte-identical — the window snapshots and the run fingerprint are
+	// unchanged. This is sound for the service because every mutation goes
+	// through the Service mailbox and lands only at window boundaries,
+	// when the workers are parked: nothing ever writes across a domain
+	// while a window is in flight. The one shared structure outside the
+	// simulation proper, the trace ring, is wrapped in a locking sink
+	// under this flag; its cross-domain interleaving (and only that) may
+	// vary run to run. Ignored when Domains < 2.
+	Parallel bool
 	// Window is the mutation quantum: the fabric advances in steps of
 	// this size and applies mutations only on its boundaries.
 	Window sim.Time
@@ -129,6 +140,9 @@ type Fabric struct {
 	switches []fabricSwitch
 	capacity units.BitRate
 	ring     *trace.Ring
+	// sink is what components emit into: the ring itself, or a locking
+	// wrapper when parallel domain workers could append concurrently.
+	sink trace.Sink
 
 	drivers map[uint32]*Driver
 	order   []uint32 // attach order, for deterministic snapshots
@@ -155,8 +169,13 @@ func NewFabric(cfg Config) (*Fabric, error) {
 		fp:      fnv.New64a(),
 		nextID:  1,
 	}
+	f.cluster.SetParallel(cfg.Parallel)
 	if cfg.TraceLen > 0 {
 		f.ring = trace.NewRing(cfg.TraceLen)
+		f.sink = f.ring
+		if cfg.Parallel && cfg.Domains > 1 {
+			f.sink = trace.NewLockedSink(f.ring)
+		}
 	}
 	switch cfg.Topo {
 	case "dumbbell":
@@ -169,7 +188,7 @@ func NewFabric(cfg Config) (*Fabric, error) {
 		f.addPipe("S2->S1", d.ReverseTrunk)
 		if f.ring != nil {
 			for _, h := range append(append([]*topo.Host{}, d.Left...), d.Right...) {
-				h.SetTrace(f.ring)
+				h.SetTrace(f.sink)
 			}
 		}
 	case "star":
@@ -186,7 +205,7 @@ func NewFabric(cfg Config) (*Fabric, error) {
 		}
 		if f.ring != nil {
 			for _, h := range s.Hosts {
-				h.SetTrace(f.ring)
+				h.SetTrace(f.sink)
 			}
 		}
 	default:
@@ -201,7 +220,7 @@ func (f *Fabric) addSwitch(name string, sw *topo.Switch) {
 	f.tables[name+"/"+control.Ingress.String()] = sw.Ingress
 	f.tables[name+"/"+control.Egress.String()] = sw.Egress
 	if f.ring != nil {
-		sw.SetTrace(f.ring)
+		sw.SetTrace(f.sink)
 	}
 }
 
@@ -291,3 +310,14 @@ func (f *Fabric) foldFingerprint(snap Snapshot) {
 func (f *Fabric) Fingerprint() string {
 	return fmt.Sprintf("%016x/%d", f.fp.Sum64(), f.window)
 }
+
+// SyncStats reports the cluster's synchronization accounting: rounds run,
+// boundary flushes, barrier cost and per-domain busy time. The NS fields
+// are host wall-clock — they never feed the simulation and are therefore
+// kept out of Snapshot, whose byte stream is the determinism fingerprint.
+func (f *Fabric) SyncStats() sim.SyncStats { return f.cluster.SyncStats() }
+
+// Close stops the cluster's domain worker goroutines (if any were
+// started). The fabric must not be advanced afterwards; Service calls
+// this when its run loop exits.
+func (f *Fabric) Close() { f.cluster.Close() }

@@ -19,6 +19,16 @@ import (
 // connection goroutine forever.
 const maxWatch = 100_000
 
+// StatsReply is the "stats" verb payload: the full boundary snapshot plus
+// the cluster's sync/load accounting. The sync section lives here — next
+// to the snapshot, never inside it — because its fields are host
+// wall-clock measurements, and Snapshot's byte stream doubles as the run's
+// determinism fingerprint.
+type StatsReply struct {
+	Snapshot
+	Sync sim.SyncStats `json:"sync"`
+}
+
 // Handler returns the wire dispatcher to plug into control.NewWireServer.
 func (s *Service) Handler() control.Handler {
 	return func(req control.WireRequest, emit func(control.WireResponse) bool) {
@@ -64,7 +74,10 @@ func (s *Service) dispatch(req control.WireRequest, emit func(control.WireRespon
 
 	case "stats":
 		emit(s.Do(func(f *Fabric) control.WireResponse {
-			return dataResponse(f.Snapshot(true))
+			return dataResponse(StatsReply{
+				Snapshot: f.Snapshot(true),
+				Sync:     f.SyncStats(),
+			})
 		}))
 
 	case "watch":

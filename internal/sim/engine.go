@@ -178,7 +178,22 @@ type Engine struct {
 	// its engine-local free list (sim cannot import packet). See
 	// PacketPoolSlot.
 	packetPool any
+
+	// multiDomain is set by NewCluster on every engine of a 2+ domain
+	// cluster. Components built on the engine consult it (MultiDomain) to
+	// decide whether state reachable from another domain — a host's flow
+	// dispatch table, a shared stats sink — must be guarded for the
+	// parallel window mode, where a sender created at runtime in one
+	// domain registers its receiving half on a host whose own worker is
+	// mid-window. Single-engine construction leaves it false and those
+	// guards compile down to an untaken branch.
+	multiDomain bool
 }
+
+// MultiDomain reports whether the engine is one domain of a 2+ domain
+// cluster, i.e. whether objects built on it can be reached from other
+// domains at runtime.
+func (e *Engine) MultiDomain() bool { return e.multiDomain }
 
 // PacketPoolSlot returns a pointer to the engine's opaque packet-pool slot.
 // The packet package stores the engine-local free list here so parallel
@@ -447,6 +462,21 @@ func (e *Engine) Pending() int {
 		n += e.wheel.live
 	}
 	return n
+}
+
+// NextEventTime reports the earliest pending instant across the heap and
+// wheel lanes, or ok=false when the engine has nothing scheduled. The
+// cluster coordinator reads it between rounds to bound how far a domain's
+// neighbours may safely run.
+func (e *Engine) NextEventTime() (Time, bool) {
+	hk, ok := e.peekHeap()
+	at := hk.at
+	if e.wheel != nil && e.wheel.live > 0 {
+		if wk, _ := e.wheel.peek(e.now); !ok || wk.at < at {
+			at, ok = wk.at, true
+		}
+	}
+	return at, ok
 }
 
 // peekHeap discards tombstones from the heap root and reports the key of

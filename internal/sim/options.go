@@ -30,6 +30,13 @@ type Options struct {
 	// every delivery is its own event. Results are byte-identical for any
 	// value — bursting elides only events that would fire next anyway.
 	BurstSize int
+	// ParallelDomains makes a Cluster built with this option advance each
+	// round's domains on persistent worker goroutines instead of
+	// cooperatively (see Cluster.SetParallel). Execution strategy only —
+	// results are byte-identical — but only sound for scenarios whose
+	// runtime state never crosses domains outside the cluster mailboxes.
+	// Ignored by standalone engines.
+	ParallelDomains bool
 }
 
 // Option overrides one knob of an engine's Options.
@@ -46,6 +53,9 @@ func WithTimerWheel(on bool) Option { return func(o *Options) { o.TimerWheel = o
 
 // WithPooling sets Options.Pooling.
 func WithPooling(on bool) Option { return func(o *Options) { o.Pooling = on } }
+
+// WithParallelDomains sets Options.ParallelDomains.
+func WithParallelDomains(on bool) Option { return func(o *Options) { o.ParallelDomains = on } }
 
 // WithBurstSize sets Options.BurstSize; n <= 0 disables burst draining.
 func WithBurstSize(n int) Option {

@@ -205,10 +205,9 @@ func TestTimerRearmOnClusterWindowBoundary(t *testing.T) {
 	// windowed runTo. The cluster below has a 1 us lookahead, so windows
 	// end at 1000, 2000, ...; the timer lands exactly on 2000.
 	c := NewCluster(2)
-	c.ObserveLinkDelay(Microsecond)
 	// A boundary mailbox forces the windowed loop (no-outbox clusters run
 	// a single window straight to the deadline).
-	c.Outbox(c.Engine(1), c.NextLane(), func(any) {})
+	c.Outbox(c.Engine(0), c.Engine(1), c.NextLane(), Microsecond, func(any) {})
 	e := c.Engine(0)
 	var firedAt Time
 	var clusterNowAtFire Time

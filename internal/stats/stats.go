@@ -6,13 +6,21 @@ package stats
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"aqueue/internal/sim"
 )
 
 // Meter accumulates bytes into fixed-width time buckets so experiments can
 // report throughput time series (Figure 9) as well as averages.
+//
+// A meter may be fed from several domains of a partitioned run at once —
+// hooks on hosts that landed in different domains, advanced in parallel —
+// so Add and the readers take mu. Every reduction is order-independent
+// (integer bucket sums, min/max range), so the nondeterministic arrival
+// order under parallel execution is unobservable in results.
 type Meter struct {
+	mu     sync.Mutex
 	bucket sim.Time
 	counts []uint64
 	total  uint64
@@ -30,6 +38,8 @@ func NewMeter(bucket sim.Time) *Meter {
 
 // Add accounts n bytes observed at time now.
 func (m *Meter) Add(now sim.Time, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	idx := int(now / m.bucket)
 	for len(m.counts) <= idx {
 		m.counts = append(m.counts, 0)
@@ -49,11 +59,22 @@ func (m *Meter) Add(now sim.Time, n int) {
 }
 
 // TotalBytes returns the bytes accounted so far.
-func (m *Meter) TotalBytes() uint64 { return m.total }
+func (m *Meter) TotalBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
 
 // End returns the end of the metered range: the close of the last bucket
 // that received bytes (zero before any Add).
-func (m *Meter) End() sim.Time { return sim.Time(len(m.counts)) * m.bucket }
+func (m *Meter) End() sim.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.end()
+}
+
+// end is End without the lock, for locked callers.
+func (m *Meter) end() sim.Time { return sim.Time(len(m.counts)) * m.bucket }
 
 // Gbps returns the average rate in Gbit/s over [from, to]. The window is
 // clamped to the metered range: a `to` past the end of the last recorded
@@ -61,7 +82,14 @@ func (m *Meter) End() sim.Time { return sim.Time(len(m.counts)) * m.bucket }
 // rate over the interval it actually covered instead of a rate deflated
 // by empty tail buckets. A window entirely past the metered range is 0.
 func (m *Meter) Gbps(from, to sim.Time) float64 {
-	if end := m.End(); to > end {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gbps(from, to)
+}
+
+// gbps is Gbps without the lock, for locked callers.
+func (m *Meter) gbps(from, to sim.Time) float64 {
+	if end := m.end(); to > end {
 		to = end
 	}
 	if to <= from {
@@ -80,6 +108,8 @@ func (m *Meter) Gbps(from, to sim.Time) float64 {
 // returned, so a short run yields a short series rather than one padded
 // with zero-rate buckets that were never metered.
 func (m *Meter) Series(n int) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if n > len(m.counts) {
 		n = len(m.counts)
 	}
@@ -103,13 +133,15 @@ type MeterStats struct {
 
 // Stats summarises the meter over its metered range.
 func (m *Meter) Stats() MeterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return MeterStats{
 		TotalBytes: m.total,
 		BucketNS:   int64(m.bucket),
 		Buckets:    len(m.counts),
 		FirstNS:    int64(m.first),
 		LastNS:     int64(m.last),
-		AvgGbps:    m.Gbps(0, m.End()),
+		AvgGbps:    m.gbps(0, m.end()),
 	}
 }
 
@@ -123,7 +155,13 @@ func RateGbps(bytes uint64, d sim.Time) float64 {
 
 // Percentiles collects samples and reports order statistics. Samples are
 // kept exactly (the experiments generate at most a few million).
+//
+// Like Meter, a distribution may be fed from several domains of a
+// partitioned run concurrently, so every method takes mu. The append
+// order is nondeterministic under parallel execution, but every reduction
+// runs over the sorted samples, so results depend only on the multiset.
 type Percentiles struct {
+	mu      sync.Mutex
 	samples []float64
 	sorted  bool
 }
@@ -133,15 +171,28 @@ func (p *Percentiles) AddDuration(d sim.Time) { p.Add(float64(d)) }
 
 // Add records a sample.
 func (p *Percentiles) Add(v float64) {
+	p.mu.Lock()
 	p.samples = append(p.samples, v)
 	p.sorted = false
+	p.mu.Unlock()
 }
 
 // Count returns the number of samples.
-func (p *Percentiles) Count() int { return len(p.samples) }
+func (p *Percentiles) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.samples)
+}
 
 // Quantile returns the q-th quantile (0 <= q <= 1), or 0 with no samples.
 func (p *Percentiles) Quantile(q float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quantile(q)
+}
+
+// quantile is Quantile without the lock, for locked callers.
+func (p *Percentiles) quantile(q float64) float64 {
 	if len(p.samples) == 0 {
 		return 0
 	}
@@ -170,6 +221,13 @@ func (p *Percentiles) Quantile(q float64) float64 {
 // summing in add order would make the last bit of the mean depend on the
 // partitioning.
 func (p *Percentiles) Mean() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mean()
+}
+
+// mean is Mean without the lock, for locked callers.
+func (p *Percentiles) mean() float64 {
 	if len(p.samples) == 0 {
 		return 0
 	}
@@ -197,13 +255,15 @@ type PercentileStats struct {
 
 // Stats summarises the distribution.
 func (p *Percentiles) Stats() PercentileStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return PercentileStats{
-		Count: p.Count(),
-		Mean:  p.Mean(),
-		P50:   p.Quantile(0.5),
-		P95:   p.Quantile(0.95),
-		P99:   p.Quantile(0.99),
-		Max:   p.Quantile(1),
+		Count: len(p.samples),
+		Mean:  p.mean(),
+		P50:   p.quantile(0.5),
+		P95:   p.quantile(0.95),
+		P99:   p.quantile(0.99),
+		Max:   p.quantile(1),
 	}
 }
 
@@ -245,7 +305,16 @@ func MinMaxRatio(xs []float64) float64 {
 // FCT tracks the flow completions of one entity's workload: it reports the
 // workload completion time (when the last flow finishes) and FCT
 // statistics.
+//
+// One entity's flows may start and complete in several domains at once
+// (the incast pattern: 32 senders, one tracker), so the mutating methods
+// take mu and every reduction is order-independent (counts, sums, max,
+// sorted percentiles). The exported fields exist for post-run reporting;
+// read them directly only after the run, or from a domain that is the
+// tracker's sole writer — mid-run cross-domain reads must go through the
+// method API.
 type FCT struct {
+	mu        sync.Mutex
 	Started   int
 	Completed int
 	LastDone  sim.Time
@@ -255,25 +324,37 @@ type FCT struct {
 
 // FlowStarted accounts a new flow of the given size.
 func (f *FCT) FlowStarted(size int64) {
+	f.mu.Lock()
 	f.Started++
 	f.Bytes += size
+	f.mu.Unlock()
 }
 
 // FlowDone accounts a completion at time now for a flow started at start.
 func (f *FCT) FlowDone(start, now sim.Time) {
+	f.mu.Lock()
 	f.Completed++
 	if now > f.LastDone {
 		f.LastDone = now
 	}
+	f.mu.Unlock()
 	f.fcts.AddDuration(now - start)
 }
 
 // AllDone reports whether every started flow completed.
-func (f *FCT) AllDone() bool { return f.Completed == f.Started && f.Started > 0 }
+func (f *FCT) AllDone() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.Completed == f.Started && f.Started > 0
+}
 
 // CompletionTime returns when the last flow finished (the paper's workload
 // completion time).
-func (f *FCT) CompletionTime() sim.Time { return f.LastDone }
+func (f *FCT) CompletionTime() sim.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.LastDone
+}
 
 // MeanFCT returns the mean flow completion time.
 func (f *FCT) MeanFCT() sim.Time { return sim.Time(f.fcts.Mean()) }
@@ -293,6 +374,8 @@ type FCTStats struct {
 
 // Stats summarises the tracker.
 func (f *FCT) Stats() FCTStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return FCTStats{
 		Started:      f.Started,
 		Completed:    f.Completed,

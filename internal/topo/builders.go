@@ -93,7 +93,7 @@ func (b *cbuild) pipe(srcEng, dstEng *sim.Engine, spec LinkSpec, dst Receiver) *
 	p.SetLane(b.c.NextLane())
 	b.c.ObserveLinkDelay(spec.Delay)
 	if srcEng != dstEng {
-		p.BindOutbox(b.c.Outbox(dstEng, p.Lane(), p.DeliverFunc()))
+		p.BindOutbox(b.c.Outbox(srcEng, dstEng, p.Lane(), spec.Delay, p.DeliverFunc()))
 	}
 	return p
 }

@@ -154,9 +154,21 @@ func TestBurstDRRAndFIFOCoexist(t *testing.T) {
 func TestBurstTruncatedAtClusterWindow(t *testing.T) {
 	run := func(burst int) (burstRun, uint64) {
 		cl := sim.NewCluster(2, sim.WithBurstSize(burst))
-		cl.ObserveLinkDelay(sim.Microsecond)
-		// A boundary mailbox forces the windowed loop.
-		cl.Outbox(cl.Engine(1), cl.NextLane(), func(any) {})
+		// Mutual boundary mailboxes plus a live tick on engine 1 keep
+		// engine 0 on a short leash: each round may only advance it
+		// ~1-2 us, so the train keeps hitting round boundaries. (Without
+		// the coupling, the EAT fixpoint would prove one side inert and
+		// run the other to the deadline in a single round.)
+		cl.Outbox(cl.Engine(1), cl.Engine(0), cl.NextLane(), sim.Microsecond, func(any) {})
+		cl.Outbox(cl.Engine(0), cl.Engine(1), cl.NextLane(), sim.Microsecond, func(any) {})
+		ticker := cl.Engine(1)
+		var tick func()
+		tick = func() {
+			if ticker.Now() < 100*sim.Microsecond {
+				ticker.After(sim.Microsecond, tick)
+			}
+		}
+		ticker.At(0, tick)
 		eng := cl.Engine(0)
 		c := &collector{eng: eng}
 		p := NewPipe(eng, 10*units.Gbps, 100, 0, 0, c)

@@ -36,8 +36,12 @@ func TestDumbbellInBoundaryDelivery(t *testing.T) {
 	if d.S1.RouteMiss != 0 || d.S2.RouteMiss != 0 {
 		t.Fatalf("route misses: S1=%d S2=%d", d.S1.RouteMiss, d.S2.RouteMiss)
 	}
-	if c.Windows < 100 {
-		t.Fatalf("expected many lookahead windows, got %d", c.Windows)
+	// The one-shot sends span the first ~500 us of a 20 ms horizon. The
+	// per-channel scheduler needs a healthy number of rounds while traffic
+	// is in flight, but strides over the idle tail instead of paying the
+	// old horizon/lookahead = 2000 global windows.
+	if c.Windows < 20 || c.Windows >= 2000 {
+		t.Fatalf("got %d rounds, want within [20, 2000): many while active, none for the idle tail", c.Windows)
 	}
 }
 

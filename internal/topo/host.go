@@ -2,6 +2,7 @@ package topo
 
 import (
 	"strconv"
+	"sync"
 
 	"aqueue/internal/ident"
 	"aqueue/internal/packet"
@@ -57,6 +58,17 @@ type Host struct {
 	dirty   bool
 	denseOK bool
 
+	// shared is set when the engine belongs to a multi-domain cluster: a
+	// sender constructed at runtime in another domain registers its
+	// receiving half here (transport.NewSender), possibly while this
+	// domain's worker is mid-window, so dispatch-table access must take
+	// mu. Determinism is unaffected — a flow's packets cannot reach this
+	// host before the registration's window has flushed, so no lookup
+	// ever observes a flow "early" — the lock only makes the table's
+	// memory safe. Single-engine hosts skip it entirely.
+	shared bool
+	mu     sync.Mutex
+
 	// Filter, when non-nil, intercepts outbound packets (see SendFilter).
 	Filter SendFilter
 
@@ -86,6 +98,7 @@ func NewHost(eng *sim.Engine, id packet.HostID) *Host {
 		flowSeq:  eng.SeqDomain("transport.flow"),
 		handlers: make(map[packet.FlowID]FlowHandler),
 		denseOK:  eng.Options().DenseForwarding,
+		shared:   eng.MultiDomain(),
 	}
 }
 
@@ -144,14 +157,23 @@ func (h *Host) SetUplink(p *Pipe) { h.out = p }
 // Uplink returns the host's outbound pipe.
 func (h *Host) Uplink() *Pipe { return h.out }
 
-// Register installs the handler for a flow ID.
+// Register installs the handler for a flow ID. On a multi-domain host the
+// caller may be another domain's worker (see the shared field).
 func (h *Host) Register(id packet.FlowID, fh FlowHandler) {
+	if h.shared {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
 	h.handlers[id] = fh
 	h.dirty = true
 }
 
 // Unregister removes a flow handler.
 func (h *Host) Unregister(id packet.FlowID) {
+	if h.shared {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
 	delete(h.handlers, id)
 	h.dirty = true
 }
@@ -181,16 +203,22 @@ func (h *Host) rebuildDispatch() {
 
 // handler resolves the flow's handler via the dense slice when present,
 // else the map. Both layouts hold the same values, so which one serves a
-// lookup is unobservable in results.
-func (h *Host) handler(id packet.FlowID) FlowHandler {
+// lookup is unobservable in results — as is the rebuild's timing relative
+// to a foreign registration, which only ever adds flows whose packets
+// haven't crossed the boundary yet.
+func (h *Host) handler(id packet.FlowID) (fh FlowHandler) {
+	if h.shared {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
 	if h.dirty {
 		h.rebuildDispatch()
 	}
 	if h.dense != nil {
 		if i := uint64(id); i < uint64(len(h.dense)) {
-			return h.dense[i]
+			fh = h.dense[i]
 		}
-		return nil
+		return fh
 	}
 	return h.handlers[id]
 }

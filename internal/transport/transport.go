@@ -661,9 +661,16 @@ func (s *Sender) complete(now sim.Time) {
 // mark, the send timestamp, the segment sequence (one-block SACK) and the
 // accumulated virtual delay.
 type Receiver struct {
-	s   *Sender
-	cum int64
-	ooo map[int64]int // out-of-order segments: seq -> payload
+	s *Sender
+	// pool is the RECEIVING host's engine pool, not the sender's: in a
+	// partitioned run the two ends of a flow can live in different
+	// simulation domains, and under parallel domain workers an ACK
+	// allocation here would otherwise contend unsynchronized with the
+	// sender domain's own pool traffic. Which pool served an allocation is
+	// unobservable in results (packets are zeroed on reuse).
+	pool *packet.Pool
+	cum  int64
+	ooo  map[int64]int // out-of-order segments: seq -> payload
 
 	// Delivered counts in-order delivered payload bytes.
 	Delivered int64
@@ -672,7 +679,7 @@ type Receiver struct {
 }
 
 func newReceiver(s *Sender) *Receiver {
-	return &Receiver{s: s, ooo: make(map[int64]int)}
+	return &Receiver{s: s, pool: packet.PoolFor(s.dst.Engine()), ooo: make(map[int64]int)}
 }
 
 // Handle processes an incoming data segment.
@@ -702,7 +709,7 @@ func (r *Receiver) Handle(p *packet.Packet) {
 		r.ooo[p.Seq] = p.Payload
 	}
 	r.Delivered = r.cum
-	ack := r.s.pool.NewAck(r.s.dst.ID(), r.s.src.ID(), p.Flow, r.cum)
+	ack := r.pool.NewAck(r.s.dst.ID(), r.s.src.ID(), p.Flow, r.cum)
 	ack.EcnEcho = p.CE
 	ack.EchoSentAt = p.SentAt
 	ack.EchoVirtualDelay = p.VirtualDelay

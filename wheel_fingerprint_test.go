@@ -18,7 +18,7 @@ import (
 // domains. One worker: the equivalence needs identical runs.
 func runWheelSweep(t *testing.T, wheel bool, domains int) []*harness.Result {
 	t.Helper()
-	jobs := domainJobs(t, domains, sim.WithTimerWheel(wheel))
+	jobs := domainJobs(t, domains, false, sim.WithTimerWheel(wheel))
 	if len(jobs) < 14 {
 		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
 	}
