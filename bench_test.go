@@ -202,6 +202,18 @@ func BenchmarkExtPerEntityQueues(b *testing.B) {
 	b.ReportMetric(aq, "aq-jain")
 }
 
+// BenchmarkFluidBG runs the fluid-background fidelity experiment (fig6 and
+// fig9 with their backgrounds as fluid rate ODEs) and reports the worst
+// foreground deviation from the all-packet baseline.
+func BenchmarkFluidBG(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.FluidBG(60*sim.Millisecond, 12, 1, 1)
+		worst = r.MaxDeltaPct()
+	}
+	b.ReportMetric(worst, "maxdelta-pct")
+}
+
 // ---------------------------------------------------------------------------
 // Ablations for the design choices DESIGN.md calls out.
 

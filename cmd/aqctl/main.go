@@ -20,6 +20,8 @@
 //
 //	aqctl -addr 127.0.0.1:7171 -op attach -tenant t1 -id 3 \
 //	      -kind websearch -load 0.5
+//	aqctl -addr 127.0.0.1:7171 -op attach -tenant bg -id 4 \
+//	      -kind fluid -load 0.8 -entities 100000
 //	aqctl -addr 127.0.0.1:7171 -op stats
 //	aqctl -addr 127.0.0.1:7171 -op watch -count 10
 //	aqctl -addr 127.0.0.1:7171 -op trace -count 50
@@ -63,9 +65,10 @@ func main() {
 		swName   = flag.String("switch", "S1", "target switch")
 		id       = flag.Uint("id", 0, "AQ id (release/set_active/set_rate/set_weight, attach tag) or driver id (detach)")
 		active   = flag.Bool("active", true, "set_active value")
-		kind     = flag.String("kind", "websearch", "attach: websearch|datamining|fixed")
+		kind     = flag.String("kind", "websearch", "attach: websearch|datamining|fixed|fluid")
 		size     = flag.Int64("size", 0, "attach: flow size in bytes (kind fixed)")
 		load     = flag.Float64("load", 0, "attach: offered load as a fraction of capacity")
+		entities = flag.Int("entities", 0, "attach: fluid entity count (kind fluid, 0 = 1)")
 		seed     = flag.Uint64("seed", 0, "attach: workload seed (0 = deterministic default)")
 		count    = flag.Int("count", 0, "watch/trace/step: snapshots, events or windows")
 		until    = flag.Int64("until", 0, "advance: absolute simulated time target in ns")
@@ -99,6 +102,7 @@ func main() {
 		Kind:      *kind,
 		Size:      *size,
 		Load:      *load,
+		Entities:  *entities,
 		Seed:      *seed,
 		Count:     *count,
 		UntilNS:   *until,

@@ -27,10 +27,28 @@ type coreMetrics struct {
 	// GOMAXPROCS can back the domain workers — it carries the parallel
 	// speedup acceptance gate (see benchcore.SpeedupTarget).
 	FatTreeWide *benchcore.FatTreeResult `json:"fattree_wide,omitempty"`
-	Sweep       *harness.Bench           `json:"sweep,omitempty"`
+	// Fluid is the million-entity scenario: fluid background entities on
+	// every edge switch of a k=8 fat tree sharing host uplinks with a
+	// packet foreground, plus the fidelity delta of the hybrid split
+	// measured by the paired fluid-background experiment.
+	Fluid *fluidMetrics  `json:"fluid,omitempty"`
+	Sweep *harness.Bench `json:"sweep,omitempty"`
 	// Note documents provenance (e.g. that a baseline was measured before
 	// a refactor landed).
 	Note string `json:"note,omitempty"`
+}
+
+// fluidMetrics pairs the scale measurement with the fidelity check that
+// licenses it: the entity-epoch throughput numbers only matter if replacing
+// background packets with rate ODEs leaves packet-level foreground results
+// within tolerance of the all-packet baseline.
+type fluidMetrics struct {
+	Scale benchcore.FluidScaleResult `json:"scale"`
+	// FidelityDeltaPct is experiments.FluidBG's worst gated delta
+	// (guarantee precision, Jain fairness, workload completion) between the
+	// packet-background and fluid-background runs, in percent.
+	FidelityDeltaPct     float64 `json:"fidelity_delta_pct"`
+	FidelityTolerancePct float64 `json:"fidelity_tolerance_pct"`
 }
 
 // coreRecord is the BENCH_simcore.json document: the current measurement
@@ -105,6 +123,30 @@ func runBenchCore(parallel, domains, burst int, path string) {
 			runtime.GOMAXPROCS(0), ftDomains)
 	}
 
+	// The million-entity fluid scenario: the first headline number at
+	// production entity counts. It is recorded alongside the fidelity delta
+	// that licenses it — scale bought by the hybrid split is only worth
+	// recording if the split is unobservable to the packet foreground.
+	const (
+		fluidEntities = 1_000_000
+		fluidFlows    = 64
+	)
+	fmt.Printf("benchcore: fluid scale, %d entities + %d packet flows on a k=8 fat tree, %d domains\n",
+		fluidEntities, fluidFlows, ftDomains)
+	fls := benchcore.MeasureFluidScale(8, fluidEntities, fluidFlows,
+		500*sim.Microsecond, 5*sim.Millisecond, ftDomains)
+	printFluidScale(&fls)
+	fmt.Printf("benchcore: fluid fidelity gate (paired packet/fluid background runs)\n")
+	fid := experiments.FluidBG(60*sim.Millisecond, 12, 1, 1)
+	fluidSec := fluidMetrics{
+		Scale:                fls,
+		FidelityDeltaPct:     fid.MaxDeltaPct(),
+		FidelityTolerancePct: experiments.FluidBGTolerancePct,
+	}
+	fmt.Printf("  worst delta %.2f%% (guarantee %.2f%%, Jain %.2f%%, completion %.2f%%; tolerance %.1f%%)\n",
+		fid.MaxDeltaPct(), fid.GuaranteeDeltaPct, fid.JainDeltaPct, fid.CompletionDeltaPct,
+		experiments.FluidBGTolerancePct)
+
 	jobs, err := harness.Jobs(harness.Names(), nil, experiments.DefaultParams(true))
 	if err != nil {
 		fatalf("building sweep jobs: %v", err)
@@ -140,7 +182,7 @@ func runBenchCore(parallel, domains, burst int, path string) {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Baseline:   readBaseline(path),
-		Current:    coreMetrics{Engine: eng, Forwarding: fwd, Drain: &drn, Timers: &tmr, FatTree: &ft, FatTreeWide: ftWide, Sweep: sweep},
+		Current:    coreMetrics{Engine: eng, Forwarding: fwd, Drain: &drn, Timers: &tmr, FatTree: &ft, FatTreeWide: ftWide, Fluid: &fluidSec, Sweep: sweep},
 	}
 	if rec.Baseline != nil {
 		b, c := rec.Baseline.Forwarding, rec.Current.Forwarding
@@ -169,6 +211,13 @@ func runBenchCore(parallel, domains, burst int, path string) {
 	}
 	if !tmr.Identical {
 		fatalf("wheel timer run differs from heap run — determinism regression")
+	}
+	if !fls.Identical {
+		fatalf("partitioned fluid-scale run differs from single-engine — determinism regression")
+	}
+	if fluidSec.FidelityDeltaPct > fluidSec.FidelityTolerancePct {
+		fatalf("fluid fidelity delta %.2f%% exceeds the %.1f%% tolerance",
+			fluidSec.FidelityDeltaPct, fluidSec.FidelityTolerancePct)
 	}
 	if !fwd.Identical {
 		fatalf("burst forwarding run differs from per-packet run — determinism regression")
@@ -202,6 +251,30 @@ func printFatTree(ft *benchcore.FatTreeResult) {
 	for _, d := range ft.DomainLoads {
 		fmt.Printf("    domain %d: %d runs, busy %v\n",
 			d.Domain, d.Runs, time.Duration(d.BusyNS).Round(time.Microsecond))
+	}
+}
+
+// printFluidScale reports the million-entity measurement: the per-entity-
+// epoch cost, throughput, memory (both the paper's 15 B/AQ switch model and
+// the measured host heap), and the cross-domain determinism check.
+func printFluidScale(r *benchcore.FluidScaleResult) {
+	fmt.Printf("  %.0f ns/entity-epoch (%.1fM entity-epochs/sec, %d entity-epochs over %d epochs)\n",
+		r.NsPerEntityEpoch, r.EntityEpochsPerSec/1e6, r.EntityEpochs, r.Epochs)
+	fmt.Printf("  setup %v, single %v, partitioned %v",
+		time.Duration(r.SetupNS).Round(time.Millisecond),
+		time.Duration(r.SingleNS).Round(time.Millisecond),
+		time.Duration(r.PartitionedNS).Round(time.Millisecond))
+	if r.ParallelMeasured {
+		fmt.Printf(" (speedup %.2fx)", r.Speedup)
+	} else {
+		fmt.Printf(" cooperatively")
+	}
+	fmt.Printf(", identical=%v\n", r.Identical)
+	fmt.Printf("  fluid delivered %.1f MB, shed %.1f MB, fg %d pkts; AQ model %.1f MB, heap %.0f MB\n",
+		r.FluidDeliveredBytes/1e6, r.FluidDroppedBytes/1e6, r.FGPackets,
+		float64(r.AQModelBytes)/1e6, float64(r.HeapBytes)/1e6)
+	if r.Note != "" {
+		fmt.Printf("  [%s]\n", r.Note)
 	}
 }
 

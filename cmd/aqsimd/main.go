@@ -48,17 +48,19 @@ func main() {
 		traceN   = flag.Int("trace", 4096, "trace ring size in events; 0 disables tracing")
 		ccName   = flag.String("cc", "cubic", "default congestion control for attached drivers")
 		rate     = flag.Float64("rate", 0, "link rate in bits/s (0 = paper default 10 Gbps)")
+		fluidEp  = flag.Duration("fluidepoch", 0, "integration epoch for kind \"fluid\" drivers (simulated time; 0 = default 100µs)")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		Topo:     *topoN,
-		Hosts:    *hosts,
-		Domains:  *domains,
-		Parallel: *parallel,
-		Window:   sim.Time(window.Nanoseconds()),
-		TraceLen: *traceN,
-		CC:       *ccName,
+		Topo:       *topoN,
+		Hosts:      *hosts,
+		Domains:    *domains,
+		Parallel:   *parallel,
+		Window:     sim.Time(window.Nanoseconds()),
+		TraceLen:   *traceN,
+		CC:         *ccName,
+		FluidEpoch: sim.Time(fluidEp.Nanoseconds()),
 	}
 	if *rate > 0 {
 		spec := topo.DefaultSim()

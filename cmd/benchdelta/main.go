@@ -1,7 +1,7 @@
 // Command benchdelta compares two BENCH_simcore.json records and prints a
 // markdown table of the interesting deltas — forwarding ns/packet,
-// allocs/op, engine ns/event, fat-tree partitioning overhead, and sweep
-// speedup/utilization. CI runs it with the committed record and a freshly
+// allocs/op, engine ns/event, fat-tree partitioning overhead, fluid-lane
+// entity throughput and fidelity, and sweep speedup/utilization. CI runs it with the committed record and a freshly
 // regenerated one and appends the output to the job summary; it is
 // informational and never fails on a slow result (shared runners are
 // noisy), only on unreadable input.
@@ -63,12 +63,35 @@ type metrics struct {
 		ParallelMeasured bool     `json:"parallel_measured"`
 		Identical        *bool    `json:"identical"`
 	} `json:"fattree"`
+	Fluid *fluidSection `json:"fluid"`
 	Sweep *struct {
 		Workers     int      `json:"workers"`
 		Speedup     *float64 `json:"speedup"`
 		Utilization *float64 `json:"utilization"`
 		Identical   *bool    `json:"identical"`
 	} `json:"sweep"`
+}
+
+// fluidSection is the million-entity fluid record (a later schema
+// addition, so like the others every leaf degrades independently).
+type fluidSection struct {
+	Scale            *fluidScale `json:"scale"`
+	FidelityDeltaPct *float64    `json:"fidelity_delta_pct"`
+}
+
+type fluidScale struct {
+	Entities           int      `json:"entities"`
+	NsPerEntityEpoch   *float64 `json:"ns_per_entity_epoch"`
+	EntityEpochsPerSec *float64 `json:"entity_epochs_per_sec"`
+	Identical          *bool    `json:"identical"`
+}
+
+// scaleOf guards the doubly-nested fluid scale section.
+func scaleOf(m metrics) *fluidScale {
+	if m.Fluid == nil {
+		return nil
+	}
+	return m.Fluid.Scale
 }
 
 func main() {
@@ -146,6 +169,24 @@ func report(w io.Writer, oldPath, newPath string) error {
 	boolRow(w, "fat-tree identical",
 		fieldOf(o.FatTree, func() *bool { return o.FatTree.Identical }),
 		fieldOf(n.FatTree, func() *bool { return n.FatTree.Identical }))
+	oScale, nScale := scaleOf(o), scaleOf(n)
+	fluidName := "fluid ns/entity-epoch"
+	if oScale != nil && nScale != nil {
+		fluidName = fmt.Sprintf("fluid ns/entity-epoch (%d→%d entities)",
+			oScale.Entities, nScale.Entities)
+	}
+	row(w, fluidName,
+		fieldOf(oScale, func() *float64 { return oScale.NsPerEntityEpoch }),
+		fieldOf(nScale, func() *float64 { return nScale.NsPerEntityEpoch }))
+	row(w, "fluid entity-epochs/sec",
+		fieldOf(oScale, func() *float64 { return oScale.EntityEpochsPerSec }),
+		fieldOf(nScale, func() *float64 { return nScale.EntityEpochsPerSec }))
+	boolRow(w, "fluid identical",
+		fieldOf(oScale, func() *bool { return oScale.Identical }),
+		fieldOf(nScale, func() *bool { return nScale.Identical }))
+	row(w, "fluid fidelity delta %",
+		fieldOf(o.Fluid, func() *float64 { return o.Fluid.FidelityDeltaPct }),
+		fieldOf(n.Fluid, func() *float64 { return n.Fluid.FidelityDeltaPct }))
 	sweepName := "sweep speedup"
 	if o.Sweep != nil && n.Sweep != nil {
 		sweepName = fmt.Sprintf("sweep speedup (%d→%d workers)", o.Sweep.Workers, n.Sweep.Workers)

@@ -45,6 +45,10 @@ func TestReportToleratesV1Records(t *testing.T) {
 		"fat-tree barrier ns/op",
 		"fat-tree utilization",
 		"fat-tree identical",
+		"fluid ns/entity-epoch",
+		"fluid entity-epochs/sec",
+		"fluid identical",
+		"fluid fidelity delta %",
 	} {
 		line := lineWith(t, out, want)
 		if !strings.Contains(line, "incomparable") {
@@ -158,6 +162,43 @@ func TestReportFatTreeSyncRowsPresenceAware(t *testing.T) {
 	}
 	if line := lineWith(t, out, "fat-tree utilization"); !strings.Contains(line, "incomparable") {
 		t.Errorf("utilization row must degrade when the baseline predates it:\n%s", line)
+	}
+}
+
+// TestReportFluidRowsPresenceAware pins the fluid-section behaviour both
+// ways: against a baseline that predates the section every fluid row
+// degrades to incomparable, and once both records carry it the rows diff
+// normally with the entity counts surfaced in the throughput label.
+func TestReportFluidRowsPresenceAware(t *testing.T) {
+	withFluid := `{"schema":"s1","current":{"fluid":{` +
+		`"scale":{"entities":1000000,"ns_per_entity_epoch":114,"entity_epochs_per_sec":8700000,"identical":true},` +
+		`"fidelity_delta_pct":1.45,"fidelity_tolerance_pct":5}}}`
+	without := `{"schema":"s1","current":{"engine":{"ns_per_event":40}}}`
+
+	out := renderPair(t, without, withFluid)
+	for _, name := range []string{
+		"fluid ns/entity-epoch",
+		"fluid entity-epochs/sec",
+		"fluid identical",
+		"fluid fidelity delta %",
+	} {
+		if line := lineWith(t, out, name); !strings.Contains(line, "incomparable") {
+			t.Errorf("%q must degrade when the baseline predates the fluid section:\n%s", name, line)
+		}
+	}
+
+	newer := `{"schema":"s1","current":{"fluid":{` +
+		`"scale":{"entities":1000000,"ns_per_entity_epoch":100,"entity_epochs_per_sec":10000000,"identical":true},` +
+		`"fidelity_delta_pct":2.9,"fidelity_tolerance_pct":5}}}`
+	out = renderPair(t, withFluid, newer)
+	if line := lineWith(t, out, "fluid ns/entity-epoch (1000000→1000000 entities)"); !strings.Contains(line, "-12.3%") {
+		t.Errorf("fluid throughput row should diff normally:\n%s", line)
+	}
+	if line := lineWith(t, out, "fluid fidelity delta %"); !strings.Contains(line, "+100.0%") {
+		t.Errorf("fidelity row should diff normally:\n%s", line)
+	}
+	if line := lineWith(t, out, "fluid identical"); strings.Contains(line, "incomparable") {
+		t.Errorf("fluid identical exists on both sides:\n%s", line)
 	}
 }
 

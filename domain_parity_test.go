@@ -39,8 +39,8 @@ func domainJobs(t *testing.T, domains int, parallel bool, opts ...sim.Option) []
 func runSweep(t *testing.T, domains int, parallel bool, opts ...sim.Option) []*harness.Result {
 	t.Helper()
 	jobs := domainJobs(t, domains, parallel, opts...)
-	if len(jobs) < 14 {
-		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 14", len(jobs))
+	if len(jobs) < 16 {
+		t.Fatalf("registry holds %d quick-sweep scenarios, expected the full 16", len(jobs))
 	}
 	return (&harness.Pool{Workers: 1}).Run(jobs)
 }

@@ -1,0 +1,246 @@
+package benchcore
+
+import (
+	"runtime"
+	"time"
+
+	"aqueue/internal/cc"
+	"aqueue/internal/core"
+	"aqueue/internal/fluid"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+	"aqueue/internal/transport"
+	"aqueue/internal/units"
+)
+
+// This file is the million-entity scenario: a k-ary fat tree whose edge
+// switches each carry a fluid lane with tens of thousands of background
+// entities, sharing host uplinks with a packet-level CUBIC foreground. It
+// is the scaling claim the hybrid fidelity split was built for — entity
+// counts three orders of magnitude beyond what the packet lane can carry,
+// with the AQ tables doing real admission work (the per-entity allocations
+// undercut the offered load, so every epoch sheds bytes) and the residual
+// coupling squeezing the foreground exactly as a packet background would.
+
+// FluidScaleRun is one pass's raw outcome, compared across the
+// single-engine and partitioned passes for the determinism check.
+type FluidScaleRun struct {
+	SetupNS      int64
+	RunNS        int64
+	Epochs       uint64
+	EntityEpochs uint64
+	Delivered    float64
+	Dropped      float64
+	FGPackets    uint64
+	AQModelBytes int
+	HeapBytes    uint64
+}
+
+// RunFluidScale builds a k-ary fat tree split into the given domains,
+// spreads `entities` fluid entities evenly over the edge-switch ingress
+// tables (every entity holds its own AQ, deployed in bulk), points each at
+// its source host's uplink for residual accounting, and runs `fgFlows`
+// packet CUBIC foreground flows cross-pod for the horizon. Three of four
+// entities are fixed-rate blasters, every fourth is a loss-model AIMD
+// flow; allocations undercut the per-entity fair share and buffer limits
+// are sized to a couple of epochs of allocation, so the AQ admission
+// path — not just the link clip — sheds bytes every epoch.
+// Lanes are per-edge and therefore domain-local, so any partitioning
+// yields the identical simulation.
+func RunFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains int, parallel bool) FluidScaleRun {
+	var r FluidScaleRun
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	heapBefore := ms.HeapAlloc
+
+	setup := time.Now()
+	c := sim.NewCluster(domains)
+	defer c.Close()
+	c.SetParallel(parallel)
+	spec := topo.DefaultSim()
+	f := topo.NewFatTreeIn(c, k, spec, spec)
+	half := k / 2
+	nHosts := len(f.Hosts)
+	perPod := f.HostsPerPod()
+
+	// Per-edge entity population. The per-entity fair share divides the
+	// edge's total uplink capacity; the AQ allocation undercuts it by half
+	// so admission sheds bytes even after the link clip.
+	edges := k * half
+	perEdge := entities / edges
+	extra := entities % edges
+	lanes := make([]*fluid.Lane, 0, edges)
+	edgeIdx := 0
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			n := perEdge
+			if edgeIdx < extra {
+				n++
+			}
+			edgeIdx++
+			if n == 0 {
+				continue
+			}
+			sw := f.Edges[p][e]
+			share := units.BitRate(float64(half) * float64(spec.Rate) / float64(n))
+			alloc := units.BitRate(0.5 * float64(share))
+			// The buffer limit scales with the allocation — two epochs of
+			// allocated bytes, as a switch would size per-flow state — so
+			// the sustained excess hits the drop rule within a few epochs.
+			limit := int(alloc.BytesPerNano() * float64(2*epoch))
+			if limit < 1 {
+				limit = 1
+			}
+			cfgs := make([]core.Config, n)
+			for i := range cfgs {
+				cfgs[i] = core.Config{ID: packet.AQID(i + 1), Rate: alloc, Limit: limit}
+			}
+			sw.Ingress.DeployBatch(cfgs)
+			r.AQModelBytes += sw.Ingress.MemoryBytes()
+
+			lane := fluid.NewLane(sw.Engine(), sw.Ingress, epoch)
+			pipes := make([]int, half)
+			base := (p*half + e) * half
+			for i := 0; i < half; i++ {
+				pipes[i] = lane.AddPipe(f.Hosts[base+i].Uplink())
+			}
+			lossPar := fluid.ParamsFor("cubic")
+			lossPar.MinRate = share.BytesPerNano() / 4
+			for i := 0; i < n; i++ {
+				cfg := fluid.EntityConfig{
+					AQ:   packet.AQID(i + 1),
+					Rate: units.BitRate(2 * float64(share)),
+					Pipe: pipes[i%half],
+				}
+				if i%4 == 0 {
+					cfg.Params = &lossPar
+					cfg.Demand = units.BitRate(2 * float64(share))
+				}
+				lane.Add(cfg)
+			}
+			lane.SetDeadline(horizon)
+			lane.Start(0)
+			lanes = append(lanes, lane)
+		}
+	}
+	for i := 0; i < fgFlows; i++ {
+		src := f.Hosts[i%nHosts]
+		dst := f.Hosts[(i+2*perPod)%nHosts]
+		s := transport.NewSender(src, dst, 0, cc.NewCubic(), transport.Options{})
+		s.Start(sim.Time(i) * 10 * sim.Microsecond)
+	}
+	r.SetupNS = time.Since(setup).Nanoseconds()
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > heapBefore {
+		r.HeapBytes = ms.HeapAlloc - heapBefore
+	}
+
+	start := time.Now()
+	c.RunUntil(horizon)
+	r.RunNS = time.Since(start).Nanoseconds()
+
+	for _, l := range lanes {
+		st := l.Stats()
+		r.Epochs += st.Epochs
+		r.EntityEpochs += st.EntityEpochs
+		r.Delivered += st.DeliveredBytes
+		r.Dropped += st.DroppedBytes
+	}
+	for _, h := range f.Hosts {
+		r.FGPackets += h.RxPackets
+	}
+	return r
+}
+
+// FluidScaleResult is the million-entity benchmark record. NsPerEntityEpoch
+// is the headline: the cost of carrying one background flow for one epoch,
+// including its AQ admission step and its share of the residual
+// accounting. AQModelBytes is the paper's 15 B/AQ switch-memory model
+// summed over the edge tables; HeapBytes is the measured host cost of
+// holding the whole population. Identical compares the partitioned pass
+// against the single-engine pass — same fluid bytes, same entity-epochs,
+// same foreground packets — the cross-domain determinism check at
+// benchmark scope.
+type FluidScaleResult struct {
+	K         int   `json:"k"`
+	Entities  int   `json:"entities"`
+	FGFlows   int   `json:"fg_flows"`
+	Domains   int   `json:"domains"`
+	HorizonNS int64 `json:"horizon_ns"`
+	EpochNS   int64 `json:"epoch_ns"`
+
+	Epochs       uint64 `json:"epochs"`
+	EntityEpochs uint64 `json:"entity_epochs"`
+
+	SetupNS          int64   `json:"setup_ns"`
+	SingleNS         int64   `json:"single_ns"`
+	PartitionedNS    int64   `json:"partitioned_ns"`
+	ParallelMeasured bool    `json:"parallel_measured"`
+	Speedup          float64 `json:"speedup,omitempty"`
+
+	NsPerEntityEpoch   float64 `json:"ns_per_entity_epoch"`
+	EntityEpochsPerSec float64 `json:"entity_epochs_per_sec"`
+
+	FluidDeliveredBytes float64 `json:"fluid_delivered_bytes"`
+	FluidDroppedBytes   float64 `json:"fluid_dropped_bytes"`
+	FGPackets           uint64  `json:"fg_packets"`
+	AQModelBytes        int     `json:"aq_model_bytes"`
+	HeapBytes           uint64  `json:"heap_bytes"`
+
+	Identical bool   `json:"identical"`
+	Note      string `json:"note,omitempty"`
+}
+
+// MeasureFluidScale runs the fluid-scale scenario once on a single engine
+// (the timed pass the per-entity-epoch figures come from) and once
+// partitioned, with the same parallel-honesty convention as the fat-tree
+// benchmark: domains run on goroutines only when the host has the cores,
+// otherwise the pass is cooperative and no speedup is recorded.
+func MeasureFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains int) FluidScaleResult {
+	if domains < 2 {
+		domains = 2
+	}
+	r := FluidScaleResult{
+		K: k, Entities: entities, FGFlows: fgFlows, Domains: domains,
+		HorizonNS: int64(horizon), EpochNS: int64(epoch),
+	}
+
+	// Warm-up at 1% scale: heats the pools, the allocator and the wheel
+	// without paying a third full-scale pass.
+	warm := entities / 100
+	if warm < 1000 {
+		warm = entities
+	}
+	RunFluidScale(k, warm, fgFlows, epoch, horizon/5, 1, false)
+
+	single := RunFluidScale(k, entities, fgFlows, epoch, horizon, 1, false)
+	r.SetupNS = single.SetupNS
+	r.SingleNS = single.RunNS
+	r.Epochs = single.Epochs
+	r.EntityEpochs = single.EntityEpochs
+	r.FluidDeliveredBytes = single.Delivered
+	r.FluidDroppedBytes = single.Dropped
+	r.FGPackets = single.FGPackets
+	r.AQModelBytes = single.AQModelBytes
+	r.HeapBytes = single.HeapBytes
+	if single.EntityEpochs > 0 {
+		r.NsPerEntityEpoch = float64(single.RunNS) / float64(single.EntityEpochs)
+		r.EntityEpochsPerSec = float64(single.EntityEpochs) / (float64(single.RunNS) / 1e9)
+	}
+
+	r.ParallelMeasured = runtime.GOMAXPROCS(0) >= domains
+	if !r.ParallelMeasured {
+		r.Note = "GOMAXPROCS < domains: partitioned pass ran cooperatively; a parallel speedup cannot be measured on this host"
+	}
+	parted := RunFluidScale(k, entities, fgFlows, epoch, horizon, domains, r.ParallelMeasured)
+	r.PartitionedNS = parted.RunNS
+	r.Identical = parted.Delivered == single.Delivered &&
+		parted.EntityEpochs == single.EntityEpochs &&
+		parted.FGPackets == single.FGPackets
+	if r.ParallelMeasured && r.PartitionedNS > 0 {
+		r.Speedup = float64(r.SingleNS) / float64(r.PartitionedNS)
+	}
+	return r
+}

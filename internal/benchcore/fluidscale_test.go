@@ -1,0 +1,78 @@
+package benchcore
+
+import (
+	"os"
+	"testing"
+
+	"aqueue/internal/sim"
+)
+
+// TestRunFluidScaleSmall exercises the scenario at 1/300th scale: every
+// entity must advance every epoch, the AQ admission path must actually
+// shed bytes (the allocations undercut the offered load by design), the
+// foreground must move packets, and a partitioned run must reproduce the
+// single-engine run exactly — the property the full-scale benchmark's
+// Identical field records.
+func TestRunFluidScaleSmall(t *testing.T) {
+	const (
+		k        = 4
+		entities = 3200
+		fgFlows  = 8
+		epoch    = 200 * sim.Microsecond
+		horizon  = 2 * sim.Millisecond
+	)
+	single := RunFluidScale(k, entities, fgFlows, epoch, horizon, 1, false)
+
+	lanes := uint64(k * k / 2)
+	epochsPerLane := uint64(horizon / epoch)
+	if single.Epochs != lanes*epochsPerLane {
+		t.Errorf("epochs = %d, want %d lanes x %d", single.Epochs, lanes, epochsPerLane)
+	}
+	if single.EntityEpochs != uint64(entities)*epochsPerLane {
+		t.Errorf("entity-epochs = %d, want %d x %d", single.EntityEpochs, entities, epochsPerLane)
+	}
+	if single.Delivered <= 0 {
+		t.Errorf("no fluid bytes delivered")
+	}
+	if single.Dropped <= 0 {
+		t.Errorf("no fluid bytes shed: the AQ admission path was not exercised")
+	}
+	if single.FGPackets == 0 {
+		t.Errorf("foreground moved no packets")
+	}
+	if single.AQModelBytes != entities*15 {
+		t.Errorf("AQ model bytes = %d, want %d (15 B/AQ)", single.AQModelBytes, entities*15)
+	}
+
+	for _, domains := range []int{2, 4} {
+		parted := RunFluidScale(k, entities, fgFlows, epoch, horizon, domains, false)
+		if parted.Delivered != single.Delivered || parted.Dropped != single.Dropped ||
+			parted.EntityEpochs != single.EntityEpochs || parted.FGPackets != single.FGPackets {
+			t.Errorf("domains=%d diverged: delivered %v/%v dropped %v/%v entity-epochs %d/%d fg %d/%d",
+				domains, parted.Delivered, single.Delivered, parted.Dropped, single.Dropped,
+				parted.EntityEpochs, single.EntityEpochs, parted.FGPackets, single.FGPackets)
+		}
+	}
+}
+
+// TestMeasureFluidScaleFull is the full-scale 1M-entity measurement,
+// opt-in via AQ_FLUIDSCALE_FULL=1 — it needs several hundred MB of heap
+// and tens of seconds, so tier-1 runs skip it. `aqsim -benchcore` records
+// the same configuration in BENCH_simcore.json.
+func TestMeasureFluidScaleFull(t *testing.T) {
+	if os.Getenv("AQ_FLUIDSCALE_FULL") == "" {
+		t.Skip("set AQ_FLUIDSCALE_FULL=1 to run the full-scale scenario")
+	}
+	r := MeasureFluidScale(8, 1_000_000, 64, 500*sim.Microsecond, 5*sim.Millisecond, 2)
+	t.Logf("%.0f ns/entity-epoch, %.1fM entity-epochs/sec, setup %dms single %dms partitioned %dms",
+		r.NsPerEntityEpoch, r.EntityEpochsPerSec/1e6, r.SetupNS/1e6, r.SingleNS/1e6, r.PartitionedNS/1e6)
+	t.Logf("delivered %.1fMB shed %.1fMB fg=%d aqmodel=%dB heap=%dMB identical=%v",
+		r.FluidDeliveredBytes/1e6, r.FluidDroppedBytes/1e6, r.FGPackets,
+		r.AQModelBytes, r.HeapBytes/1e6, r.Identical)
+	if !r.Identical {
+		t.Errorf("partitioned full-scale run diverged from single-engine")
+	}
+	if r.EntityEpochs != 10_000_000 {
+		t.Errorf("entity-epochs = %d, want 10M (1M entities x 10 epochs)", r.EntityEpochs)
+	}
+}

@@ -37,12 +37,13 @@ type WireRequest struct {
 	Active    *bool   `json:"active,omitempty"`
 
 	// v2 fields, used by the service verbs (internal/service).
-	Kind    string  `json:"kind,omitempty"`     // attach: flow-size distribution (websearch|datamining|fixed)
-	Load    float64 `json:"load,omitempty"`     // attach: offered load as a fraction of the bottleneck rate
-	Size    int64   `json:"size,omitempty"`     // attach: flow size in bytes for kind "fixed"
-	Seed    uint64  `json:"seed,omitempty"`     // attach: workload seed (0 picks one deterministically)
-	Count   int     `json:"count,omitempty"`    // watch/trace/step: how many snapshots/events/windows
-	UntilNS int64   `json:"until_ns,omitempty"` // advance: absolute sim-time target in nanoseconds
+	Kind     string  `json:"kind,omitempty"`     // attach: flow-size distribution (websearch|datamining|fixed) or "fluid"
+	Entities int     `json:"entities,omitempty"` // attach: fluid entity count (kind "fluid")
+	Load     float64 `json:"load,omitempty"`     // attach: offered load as a fraction of the bottleneck rate
+	Size     int64   `json:"size,omitempty"`     // attach: flow size in bytes for kind "fixed"
+	Seed     uint64  `json:"seed,omitempty"`     // attach: workload seed (0 picks one deterministically)
+	Count    int     `json:"count,omitempty"`    // watch/trace/step: how many snapshots/events/windows
+	UntilNS  int64   `json:"until_ns,omitempty"` // advance: absolute sim-time target in nanoseconds
 }
 
 // WireResponse is the controller's answer.

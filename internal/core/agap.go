@@ -100,6 +100,13 @@ type AQ struct {
 	arrivedBytes uint64
 	drops        uint64
 	marks        uint64
+
+	// Fluid-lane counters, kept separate from the packet counters so the
+	// per-packet accounting stays exact when both lanes feed one AQ. Bytes
+	// are fractional: an epoch integrates a real-valued rate.
+	fluidBytes   float64 // bytes offered by fluid epochs
+	fluidDropped float64 // bytes shed by the AQ-limit excess rule
+	fluidMarked  float64 // accepted bytes ECN-marked (mark-fraction weighted)
 }
 
 // AQStats is a snapshot of an AQ's per-packet counters, mirroring
@@ -109,6 +116,12 @@ type AQStats struct {
 	ArrivedBytes uint64 `json:"arrived_bytes"`
 	Drops        uint64 `json:"drops"`
 	Marks        uint64 `json:"marks"`
+	// Fluid-lane counters; omitted when the AQ never saw a fluid epoch, so
+	// snapshots (and the fingerprints folded over them) are byte-identical
+	// with the fluid lane disabled.
+	FluidBytes   float64 `json:"fluid_bytes,omitempty"`
+	FluidDropped float64 `json:"fluid_dropped,omitempty"`
+	FluidMarked  float64 `json:"fluid_marked,omitempty"`
 }
 
 // Stats returns a snapshot of the arrival/drop/mark counters.
@@ -118,6 +131,9 @@ func (a *AQ) Stats() AQStats {
 		ArrivedBytes: a.arrivedBytes,
 		Drops:        a.drops,
 		Marks:        a.marks,
+		FluidBytes:   a.fluidBytes,
+		FluidDropped: a.fluidDropped,
+		FluidMarked:  a.fluidMarked,
 	}
 }
 
@@ -164,13 +180,15 @@ func (a *AQ) SetRate(r units.BitRate) {
 	a.rateBits = r
 }
 
-// Update runs Algorithm 1 for a packet arriving at time now with the given
-// size in bytes, and returns the new A-Gap:
+// advance is the rate-integration kernel shared by the packet path (Update)
+// and the fluid path (OnFluidEpoch): it drains the A-Gap at the allocated
+// rate R for the time elapsed since the previous arrival, clamped at zero,
+// and moves last_time forward:
 //
-//	Δ = pkt.time - aq.last_time
-//	aq.gap = max(0, aq.gap - Δ·aq.rate) + pkt.size
-//	aq.last_time = pkt.time
-func (a *AQ) Update(now sim.Time, size int) float64 {
+//	Δ = now - aq.last_time
+//	aq.gap = max(0, aq.gap - Δ·aq.rate)
+//	aq.last_time = now
+func (a *AQ) advance(now sim.Time) {
 	delta := float64(now - a.lastTime)
 	if delta > 0 {
 		a.gap -= delta * a.rate
@@ -178,8 +196,23 @@ func (a *AQ) Update(now sim.Time, size int) float64 {
 			a.gap = 0
 		}
 	}
-	a.gap += float64(size)
 	a.lastTime = now
+}
+
+// Update runs Algorithm 1 for a packet arriving at time now with the given
+// size in bytes, and returns the new A-Gap:
+//
+//	Δ = pkt.time - aq.last_time
+//	aq.gap = max(0, aq.gap - Δ·aq.rate) + pkt.size
+//	aq.last_time = pkt.time
+//
+// A packet is the degenerate arrival stream: all its bytes land at one
+// instant, so the drain (advance) and the deposit commute trivially. The
+// fluid path integrates the same recurrence over an interval instead
+// (OnFluidEpoch in arrival.go).
+func (a *AQ) Update(now sim.Time, size int) float64 {
+	a.advance(now)
+	a.gap += float64(size)
 	return a.gap
 }
 
@@ -236,4 +269,5 @@ func (a *AQ) Reset() {
 	a.gap = 0
 	a.lastTime = 0
 	a.arrived, a.arrivedBytes, a.drops, a.marks = 0, 0, 0, 0
+	a.fluidBytes, a.fluidDropped, a.fluidMarked = 0, 0, 0
 }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+)
+
+// This file is the fluid half of the unified arrival-stream abstraction.
+//
+// Expression 7 defines the A-Gap over an entity's arrival *rate*, not its
+// packets; Algorithm 1 is merely the streaming form for the special case
+// where arrivals are point masses. The same clamped integral admits a
+// second streaming form for piecewise-constant rates: over an epoch of
+// width dt in which the entity contributes `bytes`, the arrival rate is
+// r = bytes/dt and the gap trajectory is the clamped linear function
+//
+//	g(t) = max(0, g0 + (r - R)·t),  t in [0, dt]
+//
+// which OnFluidEpoch evaluates in closed form. Both forms share the
+// rate-integration kernel AQ.advance: the packet form drains then deposits
+// a point mass, the fluid form folds the deposit into the slope. The
+// equivalence is exercised by TestFluidPacketEquivalence: a constant-rate
+// stream produces the same clamped trajectory through either entry point,
+// to within one epoch of quantization.
+
+// FluidFeedback is the outcome of integrating one fluid epoch through an
+// AQ — the fluid analogue of Verdict, with the binary drop/mark decisions
+// of Algorithm 2 widened to fractions of the epoch's bytes so fluid
+// senders can react to them as probabilities.
+type FluidFeedback struct {
+	// Accepted is the portion of the offered bytes that counted against
+	// the entity's allocation; Dropped is the excess shed by the AQ-limit
+	// rule (the fluid form of Algorithm 2 lines 2-4: dropped traffic does
+	// not accrue gap).
+	Accepted float64
+	Dropped  float64
+	// MarkFrac is the fraction of the epoch during which arrivals saw the
+	// gap above the ECN threshold — the marking probability an ECN-based
+	// fluid sender feeds into its reduction term. Zero unless the AQ is
+	// ECNType.
+	MarkFrac float64
+	// Gap is the A-Gap at the epoch boundary, after the limit rule.
+	Gap float64
+	// Delay is the virtual queuing delay Gap/R at the epoch boundary, the
+	// feedback signal for delay-based fluid senders.
+	Delay sim.Time
+}
+
+// LossFrac returns the dropped fraction of the offered bytes — the drop
+// probability a loss-based fluid sender reacts to.
+func (fb FluidFeedback) LossFrac() float64 {
+	total := fb.Accepted + fb.Dropped
+	if total <= 0 {
+		return 0
+	}
+	return fb.Dropped / total
+}
+
+// ArrivalStream is the unified arrival abstraction: anything that
+// contributes bytes to an AQ over time. Discrete packets are the
+// degenerate case (all bytes at one instant, routed through
+// Table.Process for speed); fluid flows report an epoch's worth of bytes
+// at once and consume the AQ's decision as fractional feedback.
+type ArrivalStream interface {
+	// AQID returns the tag the stream's bytes carry, matched against the
+	// table like a packet's header tag. NoAQ streams pass unmatched.
+	AQID() packet.AQID
+	// OfferedBytes returns the bytes the stream contributes over the
+	// epoch (now-dt, now].
+	OfferedBytes(now sim.Time, dt sim.Time) float64
+	// OnFeedback delivers the AQ's epoch verdict back to the stream.
+	OnFeedback(fb FluidFeedback)
+}
+
+// OnFluidEpoch integrates one fluid epoch through the AQ: `bytes` arrived
+// at a constant rate over (now-dt, now]. It advances the same registers as
+// Update — the two entry points may interleave on one AQ — and returns the
+// epoch's feedback.
+//
+// If packet arrivals already advanced last_time into this epoch, only the
+// remaining sub-interval is integrated and the epoch's full mass is spread
+// over it; the displacement is at most one epoch, within the fidelity
+// contract of the fluid lane.
+func (a *AQ) OnFluidEpoch(now sim.Time, bytes float64, dt sim.Time) FluidFeedback {
+	if bytes < 0 {
+		bytes = 0
+	}
+	start := now - dt
+	if dt <= 0 || a.lastTime > start {
+		start = a.lastTime
+	}
+	width := float64(now - start)
+	g0 := a.gap
+	var g1, markFrac float64
+	if width <= 0 {
+		// Nothing left of the epoch to integrate: the mass lands as a
+		// point deposit, exactly the packet form.
+		g1 = g0 + bytes
+		if a.cc == ECNType && g1 > a.ecnThreshold {
+			markFrac = 1
+		}
+	} else {
+		slope := bytes/width - a.rate
+		g1 = g0 + slope*width
+		if g1 < 0 {
+			g1 = 0
+		}
+		if a.cc == ECNType {
+			markFrac = markFraction(g0, slope, width, a.ecnThreshold)
+		}
+	}
+	// The fluid form of the AQ-limit rule: the gap may not end the epoch
+	// beyond the limit; the excess is shed and (as in Algorithm 2) does
+	// not count against the allocation.
+	dropped := g1 - a.limit
+	if dropped < 0 {
+		dropped = 0
+	}
+	if dropped > bytes {
+		dropped = bytes
+	}
+	a.gap = g1 - dropped
+	a.lastTime = now
+	accepted := bytes - dropped
+	a.fluidBytes += bytes
+	a.fluidDropped += dropped
+	a.fluidMarked += accepted * markFrac
+	fb := FluidFeedback{
+		Accepted: accepted,
+		Dropped:  dropped,
+		MarkFrac: markFrac,
+		Gap:      a.gap,
+	}
+	if a.rate > 0 {
+		fb.Delay = sim.Time(a.gap / a.rate)
+	}
+	return fb
+}
+
+// markFraction returns the fraction of [0, width] during which the linear
+// gap trajectory g0 + slope·t sits above the threshold k.
+func markFraction(g0, slope, width, k float64) float64 {
+	switch {
+	case slope > 0:
+		if g0 >= k {
+			return 1
+		}
+		t := (k - g0) / slope
+		if t >= width {
+			return 0
+		}
+		return (width - t) / width
+	case slope < 0:
+		if g0 <= k {
+			return 0
+		}
+		t := (g0 - k) / -slope
+		if t >= width {
+			return 1
+		}
+		return t / width
+	default:
+		if g0 > k {
+			return 1
+		}
+		return 0
+	}
+}
+
+// ProcessFluid is the fluid counterpart of Table.Process: it matches the
+// tag and integrates the epoch through the deployed AQ. Unmatched or
+// untagged streams pass with everything accepted, mirroring the packet
+// path's pass-through. The work-conservation bypass is packet-only (it
+// consults a physical queue the fluid lane never enters), and fluid
+// epochs are not traced.
+func (t *Table) ProcessFluid(now sim.Time, id packet.AQID, bytes float64, dt sim.Time) FluidFeedback {
+	if id == packet.NoAQ {
+		return FluidFeedback{Accepted: bytes}
+	}
+	t.fluidEpochs.Add(1)
+	aq := t.lookup(id)
+	if aq == nil {
+		t.fluidMisses.Add(1)
+		return FluidFeedback{Accepted: bytes}
+	}
+	return aq.OnFluidEpoch(now, bytes, dt)
+}
+
+// ProcessStream drives one arrival stream through the table for the epoch
+// ending at now: ask the stream for its bytes, integrate them, hand the
+// verdict back. This is the fluid lane's per-entity step.
+func (t *Table) ProcessStream(now sim.Time, dt sim.Time, s ArrivalStream) FluidFeedback {
+	fb := t.ProcessFluid(now, s.AQID(), s.OfferedBytes(now, dt), dt)
+	s.OnFeedback(fb)
+	return fb
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/units"
+)
+
+// TestFluidPacketEquivalence is the property test binding the two arrival
+// forms together: a constant-rate stream pushed through OnFluidEpoch must
+// trace the same clamped A-Gap trajectory as the equivalent back-to-back
+// packet arrivals, to within one epoch of quantization (one epoch's worth
+// of bytes plus one packet of discretization).
+func TestFluidPacketEquivalence(t *testing.T) {
+	const (
+		pktSize = 1500
+		epoch   = 100 * sim.Microsecond
+		horizon = 20 * sim.Millisecond
+	)
+	prop := func(rateMbps uint16, allocMbps uint16) bool {
+		// Arrival rates in (0, ~65] Gbps, allocations in (0, ~65] Gbps:
+		// the quick checker sweeps underload, overload (limit drops) and
+		// near-balance.
+		arrival := units.BitRate(float64(rateMbps)+1) * units.Mbps * 100
+		alloc := units.BitRate(float64(allocMbps)+1) * units.Mbps * 100
+
+		pktAQ := New(Config{ID: 1, Rate: alloc})
+		fluAQ := New(Config{ID: 1, Rate: alloc})
+
+		r := arrival.BytesPerNano() // bytes per ns
+		gapPkt := float64(pktSize) / r
+		nextPkt := gapPkt
+		tol := r*float64(epoch) + pktSize
+
+		for now := epoch; now <= horizon; now += epoch {
+			// Packet lane: back-to-back packets up to the epoch boundary.
+			// The fluid epoch gets exactly the mass those packets carried,
+			// so the comparison isolates the integration forms from the
+			// inter-arrival rounding of the packet schedule.
+			var epochBytes float64
+			for sim.Time(nextPkt) <= now {
+				pktAQ.arrived++
+				pktAQ.arrivedBytes += uint64(pktSize)
+				if gap := pktAQ.Update(sim.Time(nextPkt), pktSize); gap > pktAQ.limit {
+					pktAQ.gap = gap - pktSize
+					pktAQ.drops++
+				}
+				nextPkt += gapPkt
+				epochBytes += pktSize
+			}
+			// Fluid lane: one epoch integral of the same mass.
+			fluAQ.OnFluidEpoch(now, epochBytes, epoch)
+
+			// Trajectories must agree at every epoch boundary. Advance the
+			// packet AQ's drain to the boundary for an apples-to-apples
+			// read (its last arrival may precede it).
+			g := pktAQ.gap
+			if d := float64(now - pktAQ.lastTime); d > 0 {
+				g = math.Max(0, g-d*alloc.BytesPerNano())
+			}
+			if math.Abs(g-fluAQ.gap) > tol {
+				t.Logf("arrival=%v alloc=%v t=%v: packet gap %.1f vs fluid gap %.1f (tol %.1f)",
+					arrival, alloc, now, g, fluAQ.gap, tol)
+				return false
+			}
+		}
+
+		// Accepted bytes must match to the same order: what the packet AQ
+		// let through vs the fluid accepted mass, within a small number of
+		// epochs' quantization over the run.
+		pktAccepted := float64(pktAQ.arrivedBytes) - float64(pktAQ.drops)*pktSize
+		fluAccepted := fluAQ.fluidBytes - fluAQ.fluidDropped
+		if math.Abs(pktAccepted-fluAccepted) > 10*tol {
+			t.Logf("arrival=%v alloc=%v: accepted packet %.0f vs fluid %.0f",
+				arrival, alloc, pktAccepted, fluAccepted)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnFluidEpochECNMarkFraction pins the closed-form mark fraction: a
+// rate held exactly at the allocation with the gap parked above the
+// threshold marks everything; a drained gap marks nothing; a trajectory
+// crossing the threshold mid-epoch marks the fraction above it.
+func TestOnFluidEpochECNMarkFraction(t *testing.T) {
+	alloc := 1 * units.Gbps
+	aq := New(Config{ID: 1, Rate: alloc, CC: ECNType})
+	r := alloc.BytesPerNano()
+	epoch := sim.Time(sim.Millisecond)
+
+	// Below threshold, rate == allocation: gap flat at ~0, no marks.
+	fb := aq.OnFluidEpoch(epoch, r*float64(epoch), epoch)
+	if fb.MarkFrac != 0 {
+		t.Fatalf("flat low trajectory marked %.3f, want 0", fb.MarkFrac)
+	}
+	// Push the gap from 0 through the threshold at double rate: the gap
+	// climbs linearly to 2*K(ish); roughly the second half of the climb
+	// is above K.
+	need := 2 * aq.ecnThreshold
+	dt := sim.Time(need / r) // at slope r (2r in, r drained)
+	fb = aq.OnFluidEpoch(epoch+dt, 2*r*float64(dt), dt)
+	if math.Abs(fb.MarkFrac-0.5) > 0.02 {
+		t.Fatalf("threshold-crossing epoch marked %.3f, want ~0.5", fb.MarkFrac)
+	}
+	if math.Abs(fb.Gap-need) > 1 {
+		t.Fatalf("gap = %.1f, want %.1f", fb.Gap, need)
+	}
+	// Now hold exactly at allocation: gap stays parked above K, everything
+	// marks.
+	fb = aq.OnFluidEpoch(epoch+dt+epoch, r*float64(epoch), epoch)
+	if fb.MarkFrac != 1 {
+		t.Fatalf("parked-above-K epoch marked %.3f, want 1", fb.MarkFrac)
+	}
+}
+
+// TestOnFluidEpochLimitSheds: offered mass beyond the AQ limit is dropped,
+// not accrued — the fluid form of Algorithm 2's drop rule.
+func TestOnFluidEpochLimitSheds(t *testing.T) {
+	aq := New(Config{ID: 1, Rate: units.Gbps, Limit: 10_000})
+	epoch := sim.Time(sim.Millisecond)
+	offered := 500_000.0
+	fb := aq.OnFluidEpoch(epoch, offered, epoch)
+	drained := units.BitRate(units.Gbps).BytesPerNano() * float64(epoch)
+	wantAccepted := drained + 10_000 // what drained plus what the limit holds
+	if math.Abs(fb.Accepted-wantAccepted) > 1 {
+		t.Fatalf("accepted %.0f, want %.0f", fb.Accepted, wantAccepted)
+	}
+	if fb.Gap != 10_000 {
+		t.Fatalf("gap = %.0f, want parked at the limit", fb.Gap)
+	}
+	if lf := fb.LossFrac(); lf <= 0.7 {
+		t.Fatalf("loss fraction = %.3f, want heavy loss", lf)
+	}
+}
+
+// TestProcessFluidUnmatched: untagged or unmatched streams pass with
+// everything accepted, mirroring the packet path.
+func TestProcessFluidUnmatched(t *testing.T) {
+	tbl := NewTable()
+	fb := tbl.ProcessFluid(sim.Millisecond, 0, 1000, sim.Millisecond)
+	if fb.Accepted != 1000 || fb.Dropped != 0 {
+		t.Fatalf("NoAQ stream: %+v", fb)
+	}
+	fb = tbl.ProcessFluid(sim.Millisecond, 42, 1000, sim.Millisecond)
+	if fb.Accepted != 1000 {
+		t.Fatalf("unmatched stream: %+v", fb)
+	}
+	st := tbl.Stats()
+	if st.FluidEpochs != 1 || st.FluidMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 epoch, 1 miss (NoAQ not counted)", st)
+	}
+}
+
+// TestDeployBatchMatchesDeploy: the bulk path must land the same table as
+// per-config Deploy, including the dense mirror.
+func TestDeployBatchMatchesDeploy(t *testing.T) {
+	cfgs := make([]Config, 100)
+	for i := range cfgs {
+		cfgs[i] = Config{ID: packet.AQID(i + 1), Rate: units.Gbps}
+	}
+	a := NewTableDense(true)
+	for _, c := range cfgs {
+		a.Deploy(c)
+	}
+	b := NewTableDense(true)
+	b.DeployBatch(cfgs)
+	if a.Len() != b.Len() {
+		t.Fatalf("len %d vs %d", a.Len(), b.Len())
+	}
+	for _, c := range cfgs {
+		if b.Lookup(c.ID) == nil {
+			t.Fatalf("batch table missing %d", c.ID)
+		}
+	}
+}

@@ -54,6 +54,12 @@ type Table struct {
 	lookups  atomic.Uint64
 	misses   atomic.Uint64
 	bypassed atomic.Uint64
+
+	// Fluid-lane counters, separate so the packet counters (and any
+	// fingerprint folded over them) are untouched when the fluid lane is
+	// off. fluidEpochs counts per-entity epoch integrations.
+	fluidEpochs atomic.Uint64
+	fluidMisses atomic.Uint64
 }
 
 // TableStats is a consistent-enough snapshot of the table's counters
@@ -63,14 +69,20 @@ type TableStats struct {
 	Lookups  uint64 `json:"lookups"`
 	Misses   uint64 `json:"misses"`
 	Bypassed uint64 `json:"bypassed"`
+	// Fluid-lane counters; omitted while zero so snapshots taken with the
+	// fluid lane disabled serialize exactly as before it existed.
+	FluidEpochs uint64 `json:"fluid_epochs,omitempty"`
+	FluidMisses uint64 `json:"fluid_misses,omitempty"`
 }
 
 // Stats returns a snapshot of the lookup/miss/bypass counters.
 func (t *Table) Stats() TableStats {
 	return TableStats{
-		Lookups:  t.lookups.Load(),
-		Misses:   t.misses.Load(),
-		Bypassed: t.bypassed.Load(),
+		Lookups:     t.lookups.Load(),
+		Misses:      t.misses.Load(),
+		Bypassed:    t.bypassed.Load(),
+		FluidEpochs: t.fluidEpochs.Load(),
+		FluidMisses: t.fluidMisses.Load(),
 	}
 }
 
@@ -93,6 +105,17 @@ func (t *Table) Deploy(cfg Config) *AQ {
 	t.aqs[cfg.ID] = aq
 	t.rebuild()
 	return aq
+}
+
+// DeployBatch installs (or replaces) an AQ per config, rebuilding the
+// lookup layout once at the end. Deploy rebuilds per call — O(table) each,
+// quadratic for bulk deploys — which the million-entity fluid scenarios
+// cannot afford.
+func (t *Table) DeployBatch(cfgs []Config) {
+	for _, cfg := range cfgs {
+		t.aqs[cfg.ID] = New(cfg)
+	}
+	t.rebuild()
 }
 
 // Remove undeploys the AQ with the given ID.

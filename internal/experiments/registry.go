@@ -136,6 +136,17 @@ func init() {
 		func(p harness.Params) (*harness.Result, error) {
 			return tables(ExtPerQueueTable(p.Horizon, p.Domains, p.Sim...)), nil
 		})
+	register("fluidbg", "fluid-background fidelity: foreground guarantees vs all-packet baseline",
+		func(p harness.Params) (*harness.Result, error) {
+			r := FluidBG(p.Horizon, p.Flows, p.Seed, p.Domains, p.Sim...)
+			res := tables(FluidBGTable(r))
+			res.Metrics = map[string]float64{
+				"guarantee_delta_pct":  r.GuaranteeDeltaPct,
+				"jain_delta_pct":       r.JainDeltaPct,
+				"completion_delta_pct": r.CompletionDeltaPct,
+			}
+			return res, nil
+		})
 	register("churn", "runtime tenant churn through the fabric service (aqsimd path)",
 		func(p harness.Params) (*harness.Result, error) {
 			phases, final := Churn(p.Horizon, p.Domains, p.Sim...)

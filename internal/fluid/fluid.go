@@ -1,0 +1,236 @@
+// Package fluid implements the flow-level lane of the hybrid fidelity
+// split: background entities modelled as piecewise-constant rate ODEs
+// advanced at AQ-table epochs, instead of as individual packets.
+//
+// The paper's A-Gap is defined over an entity's arrival *rate* (Expression
+// 7); nothing in Algorithms 1-2 requires discrete packets. The fluid lane
+// exploits that: each entity carries a sending rate evolved by a
+// first-order abstraction of its congestion-control family (additive
+// increase, multiplicative decrease on the AQ's drop/mark/delay feedback),
+// and every epoch the lane integrates rate·dt bytes through the same
+// core.Table the packet lane uses — via the core.ArrivalStream interface —
+// and shares link capacity with packets via per-pipe residual-rate
+// accounting (topo.Pipe.SetFluidRate). Foreground flows stay packet-level;
+// the AQ sees the sum. This is the standard Level-3/Level-4 modelling
+// technique, and it is what takes the simulator from thousands of
+// concurrent flows to millions of entities.
+package fluid
+
+import (
+	"aqueue/internal/core"
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/stats"
+	"aqueue/internal/units"
+)
+
+// Model selects the first-order feedback reaction of a fluid entity,
+// mirroring core.CCType on the sender side.
+type Model uint8
+
+const (
+	// Fixed is a non-reactive constant-demand source — the fluid analogue
+	// of a UDP blaster.
+	Fixed Model = iota
+	// Loss reacts to the drop fraction with multiplicative decrease
+	// (NewReno/CUBIC/Illinois families to first order).
+	Loss
+	// ECN runs a DCTCP-style EWMA of the mark fraction and cuts
+	// proportionally to it.
+	ECN
+	// Delay backs off when the AQ's virtual delay exceeds a target
+	// (Swift/Timely families to first order).
+	Delay
+)
+
+// Params is the first-order congestion model of one entity.
+type Params struct {
+	Model Model
+	// MSS and RTT parameterise the additive-increase term MSS/RTT per
+	// RTT — the classic fluid TCP ramp — and the rate floor of one MSS
+	// per RTT.
+	MSS int
+	RTT sim.Time
+	// Beta is the multiplicative decrease factor applied on loss
+	// (rate *= 1-Beta). DCTCP uses alpha/2 instead; Delay scales Beta by
+	// the relative target excess.
+	Beta float64
+	// Gain is the DCTCP alpha EWMA gain (Model == ECN).
+	Gain float64
+	// Target is the virtual-delay target (Model == Delay).
+	Target sim.Time
+	// MinRate floors the rate in bytes/ns; zero selects one MSS per RTT.
+	MinRate float64
+}
+
+// ParamsFor maps a congestion-control algorithm name — the same names
+// transport feeds cc.ByName — to its first-order fluid model. Unknown or
+// empty names (and "udp"/"fixed") yield a non-reactive constant-demand
+// source.
+func ParamsFor(name string) Params {
+	p := Params{
+		MSS:  1460,
+		RTT:  100 * sim.Microsecond,
+		Beta: 0.5,
+	}
+	switch name {
+	case "newreno", "illinois", "bbr":
+		p.Model = Loss
+	case "cubic":
+		p.Model = Loss
+		p.Beta = 0.3 // CUBIC's gentler backoff
+	case "dctcp":
+		p.Model = ECN
+		p.Gain = 1.0 / 16
+	case "swift", "timely":
+		p.Model = Delay
+		p.Target = 50 * sim.Microsecond
+	default: // "", "udp", "fixed", anything unrecognised
+		p.Model = Fixed
+	}
+	return p
+}
+
+// ai returns the additive-increase slope in bytes/ns per ns (MSS/RTT per
+// RTT).
+func (p Params) ai() float64 {
+	if p.RTT <= 0 {
+		return 0
+	}
+	return float64(p.MSS) / (float64(p.RTT) * float64(p.RTT))
+}
+
+// floor returns the minimum rate in bytes/ns.
+func (p Params) floor() float64 {
+	if p.MinRate > 0 {
+		return p.MinRate
+	}
+	if p.RTT <= 0 {
+		return 0
+	}
+	return float64(p.MSS) / float64(p.RTT)
+}
+
+// EntityConfig describes one fluid entity added to a Lane.
+type EntityConfig struct {
+	// AQ is the tag the entity's bytes carry through the lane's table,
+	// exactly like a packet's header tag. NoAQ passes unmatched.
+	AQ packet.AQID
+	// CC selects the first-order model by cc.ByName family; ignored when
+	// Params is non-zero-valued (Model set explicitly).
+	CC     string
+	Params *Params
+	// Rate is the initial sending rate; Demand caps it (0 = uncapped
+	// beyond the link accounting).
+	Rate   units.BitRate
+	Demand units.BitRate
+	// Pipe is the index (from Lane.AddPipe) of the link the entity's
+	// bytes traverse, for residual-rate accounting; -1 for none.
+	Pipe int
+	// Meter, when non-nil, receives the entity's accepted bytes per
+	// epoch (fractional adds).
+	Meter *stats.Meter
+}
+
+// Entity is one fluid flow: a sending rate plus the first-order state of
+// its congestion model. It implements core.ArrivalStream; the Lane drives
+// it through the AQ table once per epoch. The struct is kept lean — the
+// million-entity scenarios hold one per flow.
+type Entity struct {
+	lane *Lane
+	id   packet.AQID
+	par  Params
+
+	rate   float64 // current sending rate, bytes/ns
+	demand float64 // cap on rate (0 = none)
+	clip   float64 // link-share multiplier for the current epoch
+	want   float64 // pre-clip demanded rate for the current epoch
+	alpha  float64 // DCTCP mark-fraction EWMA
+
+	pipe  int32
+	meter *stats.Meter
+
+	delivered float64 // cumulative accepted bytes
+	dropped   float64 // cumulative dropped bytes (link clip + AQ)
+}
+
+// AQID implements core.ArrivalStream.
+func (e *Entity) AQID() packet.AQID { return e.id }
+
+// OfferedBytes implements core.ArrivalStream: the entity's post-clip rate
+// integrated over the epoch.
+func (e *Entity) OfferedBytes(now sim.Time, dt sim.Time) float64 {
+	return e.want * e.clip * float64(dt)
+}
+
+// OnFeedback implements core.ArrivalStream: fold the AQ's epoch verdict —
+// widened with the link-share clip, which a packet sender would also have
+// experienced as loss — into the rate ODE.
+func (e *Entity) OnFeedback(fb core.FluidFeedback) {
+	dt := float64(e.lane.epoch)
+	e.delivered += fb.Accepted
+	clipped := e.want*float64(e.lane.epoch) - (fb.Accepted + fb.Dropped)
+	if clipped < 0 {
+		clipped = 0
+	}
+	e.dropped += fb.Dropped + clipped
+	if e.meter != nil {
+		e.meter.AddFloat(e.lane.now, fb.Accepted)
+	}
+	loss := fb.LossFrac()
+	if e.clip < 1 {
+		// Composite loss: survive the link clip, then the AQ.
+		loss = 1 - e.clip*(1-loss)
+	}
+	switch e.par.Model {
+	case Fixed:
+		return
+	case Loss:
+		if loss > 1e-9 {
+			e.rate *= 1 - e.par.Beta
+		} else {
+			e.rate += e.par.ai() * dt
+		}
+	case ECN:
+		g := e.par.Gain
+		e.alpha = (1-g)*e.alpha + g*fb.MarkFrac
+		if fb.MarkFrac > 1e-9 || loss > 1e-9 {
+			cut := e.alpha / 2
+			if loss > 1e-9 && cut < e.par.Beta {
+				cut = e.par.Beta // losses still halve, as DCTCP does
+			}
+			e.rate *= 1 - cut
+		} else {
+			e.rate += e.par.ai() * dt
+		}
+	case Delay:
+		d := float64(fb.Delay)
+		if t := float64(e.par.Target); d > t && d > 0 {
+			f := 1 - e.par.Beta*(d-t)/d
+			if f < 0.3 {
+				f = 0.3
+			}
+			e.rate *= f
+		} else if loss > 1e-9 {
+			e.rate *= 1 - e.par.Beta
+		} else {
+			e.rate += e.par.ai() * dt
+		}
+	}
+	if floor := e.par.floor(); e.rate < floor {
+		e.rate = floor
+	}
+	if e.demand > 0 && e.rate > e.demand {
+		e.rate = e.demand
+	}
+}
+
+// Rate returns the entity's current sending rate.
+func (e *Entity) Rate() units.BitRate { return units.BitRate(e.rate * 8e9) }
+
+// Delivered returns the cumulative bytes the network accepted from the
+// entity.
+func (e *Entity) Delivered() float64 { return e.delivered }
+
+// Dropped returns the cumulative bytes shed by link sharing and the AQ.
+func (e *Entity) Dropped() float64 { return e.dropped }

@@ -1,0 +1,261 @@
+package fluid
+
+import (
+	"fmt"
+
+	"aqueue/internal/core"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+	"aqueue/internal/units"
+)
+
+// minResidualFrac mirrors topo.Pipe's residual floor: the packet lane is
+// never starved below 1/1000 of a link, and symmetrically the fluid lane
+// never claims more than 999/1000 of one.
+const minResidualFrac = 1.0 / 1000
+
+// DefaultEpoch is the fluid epoch width used when a Lane is built with
+// epoch 0 — on the order of a datacenter RTT, so first-order AIMD
+// reactions happen at the same cadence as the packet senders they stand
+// in for.
+const DefaultEpoch = 100 * sim.Microsecond
+
+// pipeAccount tracks one link shared between the lanes: packet bytes
+// observed per epoch become the fluid residual, and accepted fluid rate
+// is pushed back as the packet lane's residual via SetFluidRate.
+type pipeAccount struct {
+	pipe   *topo.Pipe
+	cap    float64 // link capacity, bytes/ns
+	lastTx uint64  // pipe.TxBytes at the previous epoch
+
+	demand   float64 // accumulated fluid demand this epoch, bytes/ns
+	clip     float64 // allowed fraction of demand this epoch
+	accepted float64 // accepted fluid rate this epoch, bytes/ns
+}
+
+// Lane advances a set of fluid entities at a fixed epoch on its engine's
+// timer wheel. Everything a Lane touches — its table, its pipes, its
+// entities — lives on one engine: epochs are ordinary domain-local timer
+// events, so in a partitioned run they never widen a sync window (timers
+// only shrink a domain's earliest-arrival bound, which is always honest),
+// and the cluster's fingerprint gates bind exactly as before.
+type Lane struct {
+	eng   *sim.Engine
+	table *core.Table
+	epoch sim.Time
+	timer *sim.Timer
+
+	entities []*Entity
+	pipes    []*pipeAccount
+
+	// now/lastFire bracket the epoch being integrated while fire runs.
+	now      sim.Time
+	lastFire sim.Time
+	deadline sim.Time // no epochs fire after this (0 = unbounded)
+	running  bool
+
+	epochs       uint64
+	entityEpochs uint64
+	delivered    float64
+	dropped      float64
+}
+
+// NewLane builds a fluid lane stepping the given table's AQs on eng every
+// epoch (0 selects DefaultEpoch).
+func NewLane(eng *sim.Engine, table *core.Table, epoch sim.Time) *Lane {
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	l := &Lane{eng: eng, table: table, epoch: epoch}
+	l.timer = eng.NewTimer(l.fire)
+	return l
+}
+
+// Epoch returns the lane's epoch width.
+func (l *Lane) Epoch() sim.Time { return l.epoch }
+
+// AddPipe registers a link for residual-rate accounting and returns its
+// index for EntityConfig.Pipe. The pipe must belong to the lane's engine:
+// fluid epochs are domain-local by construction, and accounting a remote
+// pipe would race its domain.
+func (l *Lane) AddPipe(p *topo.Pipe) int {
+	if p.Engine() != l.eng {
+		panic("fluid: pipe belongs to another engine; a lane is domain-local")
+	}
+	l.pipes = append(l.pipes, &pipeAccount{
+		pipe:   p,
+		cap:    p.Rate().BytesPerNano(),
+		lastTx: p.TxBytes,
+		clip:   1,
+	})
+	return len(l.pipes) - 1
+}
+
+// Add builds an entity from cfg and registers it with the lane.
+func (l *Lane) Add(cfg EntityConfig) *Entity {
+	par := ParamsFor(cfg.CC)
+	if cfg.Params != nil {
+		par = *cfg.Params
+	}
+	e := &Entity{
+		lane:   l,
+		id:     cfg.AQ,
+		par:    par,
+		rate:   cfg.Rate.BytesPerNano(),
+		demand: cfg.Demand.BytesPerNano(),
+		clip:   1,
+		pipe:   -1,
+		meter:  cfg.Meter,
+	}
+	if cfg.Pipe >= 0 {
+		if cfg.Pipe >= len(l.pipes) {
+			panic(fmt.Sprintf("fluid: entity pipe index %d out of range", cfg.Pipe))
+		}
+		e.pipe = int32(cfg.Pipe)
+	}
+	if floor := par.floor(); e.rate < floor && par.Model != Fixed {
+		e.rate = floor
+	}
+	l.entities = append(l.entities, e)
+	return e
+}
+
+// Start arms the first epoch at now+epoch. Idempotent while running.
+func (l *Lane) Start(now sim.Time) {
+	if l.running {
+		return
+	}
+	l.running = true
+	l.lastFire = now
+	l.timer.Arm(now + l.epoch)
+}
+
+// SetDeadline stops the lane from re-arming past t; zero removes the
+// bound. Bounding the lane matters in experiments that run the engine to
+// a far horizon and rely on event exhaustion to finish early.
+func (l *Lane) SetDeadline(t sim.Time) { l.deadline = t }
+
+// Stop disarms the lane and releases its pipes back to the packet lane.
+func (l *Lane) Stop() {
+	l.running = false
+	l.timer.Disarm()
+	for _, pa := range l.pipes {
+		pa.pipe.SetFluidRate(0)
+	}
+}
+
+// fire integrates one epoch: observe the packet lane's per-pipe usage,
+// clip fluid demand to the residual, drive every entity through the AQ
+// table, and push the accepted fluid rate back onto the pipes. Iteration
+// is in registration order over plain slices, so a run is deterministic
+// for a given build-up sequence regardless of domain count.
+func (l *Lane) fire() {
+	now := l.eng.Now()
+	dt := now - l.lastFire
+	if dt <= 0 {
+		l.rearm(now)
+		return
+	}
+	l.now = now
+	l.lastFire = now
+	fdt := float64(dt)
+
+	// Per-pipe residual: capacity minus what the packet lane actually
+	// sent during the epoch, floored so fluid cannot starve packets.
+	for _, pa := range l.pipes {
+		tx := pa.pipe.TxBytes
+		pktRate := float64(tx-pa.lastTx) / fdt
+		pa.lastTx = tx
+		res := pa.cap - pktRate
+		if floor := pa.cap * minResidualFrac; res < floor {
+			res = floor
+		}
+		pa.demand = 0
+		pa.accepted = 0
+		pa.clip = res // reuse: holds residual until demand is known
+	}
+	// Accumulate demand, then convert residuals into clip fractions.
+	for _, e := range l.entities {
+		e.want = e.rate
+		if e.demand > 0 && e.want > e.demand {
+			e.want = e.demand
+		}
+		if e.pipe >= 0 {
+			l.pipes[e.pipe].demand += e.want
+		}
+	}
+	for _, pa := range l.pipes {
+		res := pa.clip
+		if pa.demand > res {
+			pa.clip = res / pa.demand
+		} else {
+			pa.clip = 1
+		}
+	}
+	// Per-entity AQ step and model update.
+	for _, e := range l.entities {
+		if e.pipe >= 0 {
+			e.clip = l.pipes[e.pipe].clip
+		} else {
+			e.clip = 1
+		}
+		fb := l.table.ProcessStream(now, dt, e)
+		l.delivered += fb.Accepted
+		l.dropped += fb.Dropped
+		if e.pipe >= 0 {
+			l.pipes[e.pipe].accepted += fb.Accepted / fdt
+		}
+	}
+	l.entityEpochs += uint64(len(l.entities))
+	l.epochs++
+	// Couple back: the packet lane serializes at the residual of the
+	// accepted fluid rate until the next epoch.
+	for _, pa := range l.pipes {
+		pa.pipe.SetFluidRate(units.BitRate(pa.accepted * 8e9))
+	}
+	l.rearm(now)
+}
+
+// rearm schedules the next epoch unless the deadline passed.
+func (l *Lane) rearm(now sim.Time) {
+	if !l.running {
+		return
+	}
+	next := now + l.epoch
+	if l.deadline > 0 && next > l.deadline {
+		l.running = false
+		// Release the pipes back to the packet lane.
+		for _, pa := range l.pipes {
+			pa.pipe.SetFluidRate(0)
+		}
+		return
+	}
+	l.timer.Arm(next)
+}
+
+// LaneStats summarises a lane for telemetry and benchmarks.
+type LaneStats struct {
+	Entities       int     `json:"entities"`
+	Epochs         uint64  `json:"epochs"`
+	EntityEpochs   uint64  `json:"entity_epochs"`
+	DeliveredBytes float64 `json:"delivered_bytes"`
+	DroppedBytes   float64 `json:"dropped_bytes"`
+	EpochNS        int64   `json:"epoch_ns"`
+}
+
+// Stats returns a snapshot of the lane's counters. Like the other
+// simulation stats it is a pure function of simulated execution, safe to
+// fold into fingerprints.
+func (l *Lane) Stats() LaneStats {
+	return LaneStats{
+		Entities:       len(l.entities),
+		Epochs:         l.epochs,
+		EntityEpochs:   l.entityEpochs,
+		DeliveredBytes: l.delivered,
+		DroppedBytes:   l.dropped,
+		EpochNS:        int64(l.epoch),
+	}
+}
+
+// Entities returns the lane's entities in registration order.
+func (l *Lane) Entities() []*Entity { return l.entities }

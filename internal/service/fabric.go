@@ -67,6 +67,9 @@ type Config struct {
 	// CC is the default congestion-control algorithm for attached load
 	// drivers that do not name their own.
 	CC string
+	// FluidEpoch is the integration epoch of fluid load drivers (kind
+	// "fluid"); zero selects fluid.DefaultEpoch.
+	FluidEpoch sim.Time
 }
 
 // DefaultConfig is an 8x8 single-domain dumbbell advancing in 1 ms
@@ -144,6 +147,13 @@ type Fabric struct {
 	// wrapper when parallel domain workers could append concurrently.
 	sink trace.Sink
 
+	// fluidSw/fluidPipe anchor fluid load drivers: the ingress table the
+	// entities' epochs run through and the shared link they account. Only
+	// the dumbbell topology sets them — it has the one well-defined
+	// bottleneck a fluid background contends on.
+	fluidSw   *topo.Switch
+	fluidPipe *topo.Pipe
+
 	drivers map[uint32]*Driver
 	order   []uint32 // attach order, for deterministic snapshots
 	nextID  uint32
@@ -186,6 +196,7 @@ func NewFabric(cfg Config) (*Fabric, error) {
 		f.addSwitch("S2", d.S2)
 		f.addPipe("S1->S2", d.Bottleneck)
 		f.addPipe("S2->S1", d.ReverseTrunk)
+		f.fluidSw, f.fluidPipe = d.S1, d.Bottleneck
 		if f.ring != nil {
 			for _, h := range append(append([]*topo.Host{}, d.Left...), d.Right...) {
 				h.SetTrace(f.sink)

@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"aqueue/internal/cc"
+	"aqueue/internal/fluid"
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
 	"aqueue/internal/stats"
 	"aqueue/internal/transport"
+	"aqueue/internal/units"
 	"aqueue/internal/workload"
 )
 
@@ -19,11 +21,15 @@ import (
 type LoadSpec struct {
 	Tenant string      `json:"tenant,omitempty"`
 	AQ     packet.AQID `json:"aq,omitempty"`   // ingress AQ tag (0 = untagged)
-	Kind   string      `json:"kind"`           // websearch | datamining | fixed
+	Kind   string      `json:"kind"`           // websearch | datamining | fixed | fluid
 	Size   int64       `json:"size,omitempty"` // bytes, kind "fixed" only
 	Load   float64     `json:"load"`           // fraction of fabric capacity
 	Seed   uint64      `json:"seed,omitempty"` // 0 derives one from the driver id
 	CC     string      `json:"cc,omitempty"`   // defaults to Config.CC
+	// Entities is the flow count of a kind "fluid" driver: the offered
+	// load is split evenly across this many fluid entities, all tagged
+	// with the driver's AQ. Zero means one entity.
+	Entities int `json:"entities,omitempty"`
 }
 
 // Driver is one attached workload: an arrival process on the sender-side
@@ -47,6 +53,11 @@ type Driver struct {
 	stopped   bool
 	tracker   stats.FCT
 	doneBytes int64
+
+	// lane is set on kind "fluid" drivers instead of the arrival process:
+	// the driver's load runs as rate ODEs through the ingress table at
+	// fluid epochs, not as individual packet flows.
+	lane *fluid.Lane
 }
 
 func sizerFor(kind string, size int64) (workload.Sizer, error) {
@@ -71,6 +82,9 @@ func sizerFor(kind string, size int64) (workload.Sizer, error) {
 func (f *Fabric) Attach(spec LoadSpec) (*Driver, error) {
 	if spec.Load <= 0 {
 		return nil, fmt.Errorf("service: attach needs a positive load, got %g", spec.Load)
+	}
+	if spec.Kind == "fluid" {
+		return f.attachFluid(spec)
 	}
 	sizer, err := sizerFor(spec.Kind, spec.Size)
 	if err != nil {
@@ -118,6 +132,38 @@ func (f *Fabric) Attach(spec LoadSpec) (*Driver, error) {
 	return d, nil
 }
 
+// attachFluid builds a kind "fluid" driver: the offered load split over
+// spec.Entities rate-ODE entities advancing at the fabric's fluid epoch
+// through the bottleneck switch's ingress table, sharing the trunk with
+// the packet lane via residual accounting. Attach happens at a window
+// boundary, so the first epoch lands cleanly inside the next window.
+func (f *Fabric) attachFluid(spec LoadSpec) (*Driver, error) {
+	if f.fluidSw == nil {
+		return nil, fmt.Errorf("service: kind \"fluid\" needs the dumbbell topology (got %q)", f.cfg.Topo)
+	}
+	entities := spec.Entities
+	if entities <= 0 {
+		entities = 1
+	}
+	ccName := spec.CC
+	if ccName == "" {
+		ccName = f.cfg.CC
+	}
+	id := f.nextID
+	f.nextID++
+	lane := fluid.NewLane(f.fluidSw.Engine(), f.fluidSw.Ingress, f.cfg.FluidEpoch)
+	pi := lane.AddPipe(f.fluidPipe)
+	per := units.BitRate(spec.Load * float64(f.capacity) / float64(entities))
+	for i := 0; i < entities; i++ {
+		lane.Add(fluid.EntityConfig{AQ: spec.AQ, CC: ccName, Rate: per, Pipe: pi})
+	}
+	lane.Start(f.Now())
+	d := &Driver{ID: id, spec: spec, f: f, lane: lane}
+	f.drivers[id] = d
+	f.order = append(f.order, id)
+	return d, nil
+}
+
 // Detach stops a driver's arrival process at the current boundary;
 // in-flight flows run to completion. It reports whether the id named a
 // live (not yet detached) driver. The driver's statistics stay visible in
@@ -131,6 +177,9 @@ func (f *Fabric) Detach(id uint32) bool {
 	if d.next != nil {
 		d.next.Cancel()
 		d.next = nil
+	}
+	if d.lane != nil {
+		d.lane.Stop()
 	}
 	return true
 }
@@ -163,7 +212,10 @@ func (d *Driver) fire() {
 	s.Start(0)
 }
 
-// DriverSnap is a driver's slice of a telemetry snapshot.
+// DriverSnap is a driver's slice of a telemetry snapshot. The fluid
+// fields are set only on kind "fluid" drivers; they are omitempty so
+// packet-only runs serialize — and therefore fingerprint — exactly as
+// before the fluid lane existed.
 type DriverSnap struct {
 	ID         uint32  `json:"id"`
 	Tenant     string  `json:"tenant,omitempty"`
@@ -175,11 +227,16 @@ type DriverSnap struct {
 	Completed  int     `json:"completed"`
 	AckedBytes int64   `json:"acked_bytes"`
 	MeanFCTNS  int64   `json:"mean_fct_ns"`
+
+	Entities       int     `json:"entities,omitempty"`
+	EntityEpochs   uint64  `json:"entity_epochs,omitempty"`
+	FluidDelivered float64 `json:"fluid_delivered_bytes,omitempty"`
+	FluidDropped   float64 `json:"fluid_dropped_bytes,omitempty"`
 }
 
 // Snap summarises the driver.
 func (d *Driver) Snap() DriverSnap {
-	return DriverSnap{
+	s := DriverSnap{
 		ID:         d.ID,
 		Tenant:     d.spec.Tenant,
 		Kind:       d.spec.Kind,
@@ -191,4 +248,12 @@ func (d *Driver) Snap() DriverSnap {
 		AckedBytes: d.doneBytes,
 		MeanFCTNS:  int64(d.tracker.MeanFCT()),
 	}
+	if d.lane != nil {
+		st := d.lane.Stats()
+		s.Entities = st.Entities
+		s.EntityEpochs = st.EntityEpochs
+		s.FluidDelivered = st.DeliveredBytes
+		s.FluidDropped = st.DroppedBytes
+	}
+	return s
 }

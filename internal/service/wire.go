@@ -46,13 +46,14 @@ func (s *Service) dispatch(req control.WireRequest, emit func(control.WireRespon
 
 	case "attach":
 		spec := LoadSpec{
-			Tenant: req.Tenant,
-			AQ:     packet.AQID(req.ID), // the granted AQ to tag flows with
-			Kind:   req.Kind,
-			Size:   req.Size,
-			Load:   req.Load,
-			Seed:   req.Seed,
-			CC:     req.CC,
+			Tenant:   req.Tenant,
+			AQ:       packet.AQID(req.ID), // the granted AQ to tag flows with
+			Kind:     req.Kind,
+			Size:     req.Size,
+			Load:     req.Load,
+			Seed:     req.Seed,
+			CC:       req.CC,
+			Entities: req.Entities,
 		}
 		emit(s.Do(func(f *Fabric) control.WireResponse {
 			d, err := f.Attach(spec)

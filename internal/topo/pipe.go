@@ -87,6 +87,14 @@ type Pipe struct {
 	txSize  int
 	txNanos sim.Time
 
+	// fluidRate is the bandwidth currently claimed by the fluid lane on
+	// this pipe (internal/fluid): packet serialization runs at the
+	// residual rate while it is nonzero. Zero — the universal case with
+	// the fluid lane off — leaves the transmit path bit-for-bit as
+	// before, so fingerprints are unperturbed. SetFluidRate invalidates
+	// the memo like SetRate.
+	fluidRate units.BitRate
+
 	// inflight holds packets whose delivery time is planned but not yet
 	// armed in the engine: deliveries within a pipe are strictly ordered
 	// (lastPlan), so only the head needs a heap event — the rest wait in
@@ -261,6 +269,52 @@ func (p *Pipe) SetRate(r units.BitRate) {
 	p.txSize = 0
 }
 
+// txTime returns the serialization time for a packet of the given size at
+// the pipe's current packet-lane rate, through the txSize/txNanos memo.
+// With no fluid claim this is exactly rate.TransmitNanos — the pre-fluid
+// transmit path, preserved bit-for-bit.
+func (p *Pipe) txTime(size int) sim.Time {
+	if size != p.txSize {
+		p.txSize = size
+		if p.fluidRate == 0 {
+			p.txNanos = sim.Time(p.rate.TransmitNanos(size))
+		} else {
+			p.txNanos = sim.Time(p.residualRate().TransmitNanos(size))
+		}
+	}
+	return p.txNanos
+}
+
+// residualRate is the bandwidth left for the packet lane after the fluid
+// claim, floored at 1/1000 of the link so foreground packets keep moving
+// (and the simulation keeps terminating) even when fluid demand saturates
+// the pipe.
+func (p *Pipe) residualRate() units.BitRate {
+	res := p.rate - p.fluidRate
+	if floor := p.rate / 1000; res < floor {
+		res = floor
+	}
+	return res
+}
+
+// SetFluidRate installs the fluid lane's current claim on this pipe's
+// bandwidth. The claim shapes only future serializations: packets already
+// in flight keep their planned times, exactly like SetRate.
+func (p *Pipe) SetFluidRate(r units.BitRate) {
+	if r < 0 {
+		r = 0
+	}
+	p.fluidRate = r
+	p.txSize = 0
+}
+
+// FluidRate returns the fluid lane's current bandwidth claim.
+func (p *Pipe) FluidRate() units.BitRate { return p.fluidRate }
+
+// Engine returns the engine this pipe schedules on; the fluid lane uses it
+// to enforce that every pipe it accounts is domain-local.
+func (p *Pipe) Engine() *sim.Engine { return p.eng }
+
 // Send enqueues the packet for transmission. The packet is tail-dropped —
 // and released back to the pool — when the FIFO is full, exactly what a
 // physical port does.
@@ -301,11 +355,7 @@ func (p *Pipe) Send(pkt *packet.Packet) {
 	if p.DelayHook != nil {
 		p.DelayHook(waited, pkt)
 	}
-	if pkt.Size != p.txSize {
-		p.txSize = pkt.Size
-		p.txNanos = sim.Time(p.rate.TransmitNanos(pkt.Size))
-	}
-	p.txFreeAt = start + p.txNanos
+	p.txFreeAt = start + p.txTime(pkt.Size)
 	p.TxBytes += uint64(pkt.Size)
 	p.TxPackets++
 	p.planDelivery(p.txFreeAt, pkt)
@@ -349,11 +399,7 @@ func (p *Pipe) kick() {
 	p.busy = true
 	p.TxBytes += uint64(pkt.Size)
 	p.TxPackets++
-	if pkt.Size != p.txSize {
-		p.txSize = pkt.Size
-		p.txNanos = sim.Time(p.rate.TransmitNanos(pkt.Size))
-	}
-	p.eng.AfterDetached(p.txNanos, p.txDoneFn, pkt)
+	p.eng.AfterDetached(p.txTime(pkt.Size), p.txDoneFn, pkt)
 }
 
 // txDone fires when the packet's last bit leaves the port (event-driven
