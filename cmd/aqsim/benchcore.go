@@ -44,6 +44,10 @@ type coreMetrics struct {
 // within tolerance of the all-packet baseline.
 type fluidMetrics struct {
 	Scale benchcore.FluidScaleResult `json:"scale"`
+	// Scale10M is the 10M-entity variant: AQ grants shared across entity
+	// groups plus a quiescent fill population, gated on the per-entity
+	// heap budget (benchcore.HeapBudgetPerEntity).
+	Scale10M *benchcore.FluidScaleResult `json:"scale_10m,omitempty"`
 	// FidelityDeltaPct is experiments.FluidBG's worst gated delta
 	// (guarantee precision, Jain fairness, workload completion) between the
 	// packet-background and fluid-background runs, in percent.
@@ -133,13 +137,30 @@ func runBenchCore(parallel, domains, burst int, path string) {
 	)
 	fmt.Printf("benchcore: fluid scale, %d entities + %d packet flows on a k=8 fat tree, %d domains\n",
 		fluidEntities, fluidFlows, ftDomains)
-	fls := benchcore.MeasureFluidScale(8, fluidEntities, fluidFlows,
-		500*sim.Microsecond, 5*sim.Millisecond, ftDomains)
+	fls := benchcore.MeasureFluidScale(benchcore.FluidScaleSpec{
+		K: 8, Entities: fluidEntities, FGFlows: fluidFlows,
+		Epoch: 500 * sim.Microsecond, Horizon: 5 * sim.Millisecond,
+	}, ftDomains)
 	printFluidScale(&fls)
+	// The 10M-entity variant: AQ grants shared across groups of entities
+	// (the paper's tenant-level grant carried by many flows) plus a
+	// quiescent untagged fill the lane folds in O(1) per cohort-epoch.
+	// This record gates on the heap budget — the whole population must fit
+	// in HeapBudgetPerEntity bytes of host memory per entity.
+	const fluid10M = 10_000_000
+	fmt.Printf("benchcore: fluid scale x10, %d entities (%d/AQ, 25%% quiescent fill), %d domains\n",
+		fluid10M, 16, ftDomains)
+	fls10 := benchcore.MeasureFluidScale(benchcore.FluidScaleSpec{
+		K: 8, Entities: fluid10M, FGFlows: fluidFlows,
+		Epoch: 500 * sim.Microsecond, Horizon: 2 * sim.Millisecond,
+		EntitiesPerAQ: 16, FillFrac: 0.25,
+	}, ftDomains)
+	printFluidScale(&fls10)
 	fmt.Printf("benchcore: fluid fidelity gate (paired packet/fluid background runs)\n")
 	fid := experiments.FluidBG(60*sim.Millisecond, 12, 1, 1)
 	fluidSec := fluidMetrics{
 		Scale:                fls,
+		Scale10M:             &fls10,
 		FidelityDeltaPct:     fid.MaxDeltaPct(),
 		FidelityTolerancePct: experiments.FluidBGTolerancePct,
 	}
@@ -215,6 +236,13 @@ func runBenchCore(parallel, domains, burst int, path string) {
 	if !fls.Identical {
 		fatalf("partitioned fluid-scale run differs from single-engine — determinism regression")
 	}
+	if !fls10.Identical {
+		fatalf("partitioned 10M fluid-scale run differs from single-engine — determinism regression")
+	}
+	if fls10.HeapBytesPerEntity > benchcore.HeapBudgetPerEntity {
+		fatalf("10M fluid-scale heap %.1f B/entity exceeds the %.0f B/entity budget",
+			fls10.HeapBytesPerEntity, benchcore.HeapBudgetPerEntity)
+	}
 	if fluidSec.FidelityDeltaPct > fluidSec.FidelityTolerancePct {
 		fatalf("fluid fidelity delta %.2f%% exceeds the %.1f%% tolerance",
 			fluidSec.FidelityDeltaPct, fluidSec.FidelityTolerancePct)
@@ -270,9 +298,17 @@ func printFluidScale(r *benchcore.FluidScaleResult) {
 		fmt.Printf(" cooperatively")
 	}
 	fmt.Printf(", identical=%v\n", r.Identical)
-	fmt.Printf("  fluid delivered %.1f MB, shed %.1f MB, fg %d pkts; AQ model %.1f MB, heap %.0f MB\n",
+	fmt.Printf("  fluid delivered %.1f MB, shed %.1f MB, fg %d pkts; AQ model %.1f MB, heap %.0f MB",
 		r.FluidDeliveredBytes/1e6, r.FluidDroppedBytes/1e6, r.FGPackets,
 		float64(r.AQModelBytes)/1e6, float64(r.HeapBytes)/1e6)
+	if r.HeapBytesPerEntity > 0 {
+		fmt.Printf(" (%.1f B/entity)", r.HeapBytesPerEntity)
+	}
+	fmt.Printf("\n")
+	if r.SkippedEntityEpochs > 0 {
+		fmt.Printf("  quiescent skip: %d of %d entity-epochs (%.1f%%)\n",
+			r.SkippedEntityEpochs, r.EntityEpochs, r.QuiescentSkipPct)
+	}
 	if r.Note != "" {
 		fmt.Printf("  [%s]\n", r.Note)
 	}

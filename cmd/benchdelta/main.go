@@ -73,9 +73,12 @@ type metrics struct {
 }
 
 // fluidSection is the million-entity fluid record (a later schema
-// addition, so like the others every leaf degrades independently).
+// addition, so like the others every leaf degrades independently). The
+// 10M-entity variant and the heap/skip leaves arrived another schema
+// generation later, under the same rules.
 type fluidSection struct {
 	Scale            *fluidScale `json:"scale"`
+	Scale10M         *fluidScale `json:"scale_10m"`
 	FidelityDeltaPct *float64    `json:"fidelity_delta_pct"`
 }
 
@@ -83,6 +86,8 @@ type fluidScale struct {
 	Entities           int      `json:"entities"`
 	NsPerEntityEpoch   *float64 `json:"ns_per_entity_epoch"`
 	EntityEpochsPerSec *float64 `json:"entity_epochs_per_sec"`
+	HeapBytesPerEntity *float64 `json:"heap_bytes_per_entity"`
+	QuiescentSkipPct   *float64 `json:"quiescent_skip_pct"`
 	Identical          *bool    `json:"identical"`
 }
 
@@ -92,6 +97,14 @@ func scaleOf(m metrics) *fluidScale {
 		return nil
 	}
 	return m.Fluid.Scale
+}
+
+// scale10MOf guards the 10M-entity variant the same way.
+func scale10MOf(m metrics) *fluidScale {
+	if m.Fluid == nil {
+		return nil
+	}
+	return m.Fluid.Scale10M
 }
 
 func main() {
@@ -181,9 +194,28 @@ func report(w io.Writer, oldPath, newPath string) error {
 	row(w, "fluid entity-epochs/sec",
 		fieldOf(oScale, func() *float64 { return oScale.EntityEpochsPerSec }),
 		fieldOf(nScale, func() *float64 { return nScale.EntityEpochsPerSec }))
+	row(w, "fluid heap bytes/entity",
+		fieldOf(oScale, func() *float64 { return oScale.HeapBytesPerEntity }),
+		fieldOf(nScale, func() *float64 { return nScale.HeapBytesPerEntity }))
+	row(w, "fluid quiescent-skip %",
+		fieldOf(oScale, func() *float64 { return oScale.QuiescentSkipPct }),
+		fieldOf(nScale, func() *float64 { return nScale.QuiescentSkipPct }))
 	boolRow(w, "fluid identical",
 		fieldOf(oScale, func() *bool { return oScale.Identical }),
 		fieldOf(nScale, func() *bool { return nScale.Identical }))
+	o10, n10 := scale10MOf(o), scale10MOf(n)
+	row(w, "fluid 10M ns/entity-epoch",
+		fieldOf(o10, func() *float64 { return o10.NsPerEntityEpoch }),
+		fieldOf(n10, func() *float64 { return n10.NsPerEntityEpoch }))
+	row(w, "fluid 10M heap bytes/entity",
+		fieldOf(o10, func() *float64 { return o10.HeapBytesPerEntity }),
+		fieldOf(n10, func() *float64 { return n10.HeapBytesPerEntity }))
+	row(w, "fluid 10M quiescent-skip %",
+		fieldOf(o10, func() *float64 { return o10.QuiescentSkipPct }),
+		fieldOf(n10, func() *float64 { return n10.QuiescentSkipPct }))
+	boolRow(w, "fluid 10M identical",
+		fieldOf(o10, func() *bool { return o10.Identical }),
+		fieldOf(n10, func() *bool { return n10.Identical }))
 	row(w, "fluid fidelity delta %",
 		fieldOf(o.Fluid, func() *float64 { return o.Fluid.FidelityDeltaPct }),
 		fieldOf(n.Fluid, func() *float64 { return n.Fluid.FidelityDeltaPct }))

@@ -202,6 +202,57 @@ func TestReportFluidRowsPresenceAware(t *testing.T) {
 	}
 }
 
+// TestReportFluidHeapAndSkipRowsPresenceAware pins the next fluid schema
+// generation: heap bytes/entity, quiescent-skip %, and the 10M-entity
+// section. A baseline whose fluid section predates them keeps its existing
+// rows comparable while every new row degrades; once both sides carry
+// them, they diff normally.
+func TestReportFluidHeapAndSkipRowsPresenceAware(t *testing.T) {
+	older := `{"schema":"s1","current":{"fluid":{` +
+		`"scale":{"entities":1000000,"ns_per_entity_epoch":114,"entity_epochs_per_sec":8700000,"identical":true},` +
+		`"fidelity_delta_pct":1.45}}}`
+	newer := `{"schema":"s1","current":{"fluid":{` +
+		`"scale":{"entities":1000000,"ns_per_entity_epoch":50,"entity_epochs_per_sec":20000000,` +
+		`"heap_bytes_per_entity":280,"identical":true},` +
+		`"scale_10m":{"entities":10000000,"ns_per_entity_epoch":31,"entity_epochs_per_sec":32000000,` +
+		`"heap_bytes_per_entity":84,"quiescent_skip_pct":18.8,"identical":true},` +
+		`"fidelity_delta_pct":1.45}}}`
+
+	out := renderPair(t, older, newer)
+	if line := lineWith(t, out, "fluid ns/entity-epoch (1000000→1000000 entities)"); strings.Contains(line, "incomparable") {
+		t.Errorf("existing throughput row must stay comparable:\n%s", line)
+	}
+	for _, name := range []string{
+		"fluid heap bytes/entity",
+		"fluid quiescent-skip %",
+		"fluid 10M ns/entity-epoch",
+		"fluid 10M heap bytes/entity",
+		"fluid 10M quiescent-skip %",
+		"fluid 10M identical",
+	} {
+		if line := lineWith(t, out, name); !strings.Contains(line, "incomparable") {
+			t.Errorf("%q must degrade against a baseline that predates it:\n%s", name, line)
+		}
+	}
+
+	newest := `{"schema":"s1","current":{"fluid":{` +
+		`"scale":{"entities":1000000,"ns_per_entity_epoch":45,"entity_epochs_per_sec":22000000,` +
+		`"heap_bytes_per_entity":140,"identical":true},` +
+		`"scale_10m":{"entities":10000000,"ns_per_entity_epoch":31,"entity_epochs_per_sec":32000000,` +
+		`"heap_bytes_per_entity":84,"quiescent_skip_pct":37.6,"identical":true},` +
+		`"fidelity_delta_pct":1.45}}}`
+	out = renderPair(t, newer, newest)
+	if line := lineWith(t, out, "fluid heap bytes/entity"); !strings.Contains(line, "-50.0%") {
+		t.Errorf("heap row should diff normally:\n%s", line)
+	}
+	if line := lineWith(t, out, "fluid 10M quiescent-skip %"); !strings.Contains(line, "+100.0%") {
+		t.Errorf("10M skip row should diff normally:\n%s", line)
+	}
+	if line := lineWith(t, out, "fluid 10M identical"); strings.Contains(line, "incomparable") {
+		t.Errorf("10M identical exists on both sides:\n%s", line)
+	}
+}
+
 // lineWith returns the single report line containing the substring.
 func lineWith(t *testing.T, out, sub string) string {
 	t.Helper()

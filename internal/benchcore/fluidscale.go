@@ -22,33 +22,71 @@ import (
 // with the AQ tables doing real admission work (the per-entity allocations
 // undercut the offered load, so every epoch sheds bytes) and the residual
 // coupling squeezing the foreground exactly as a packet background would.
+//
+// Registration is grouped by (class, pipe) so entities land in long
+// structure-of-arrays cohort runs — the layout the lane's epoch loop is
+// built around — and the AQ configs are deployed in the same order, so the
+// lane's table walk is sequential over the DeployBatch slab.
+
+// FluidScaleSpec parameterises the scale scenario. The zero-extended
+// legacy shape (EntitiesPerAQ ≤ 1, FillFrac 0) is the original
+// one-AQ-per-entity population.
+type FluidScaleSpec struct {
+	K        int
+	Entities int
+	FGFlows  int
+	Epoch    sim.Time
+	Horizon  sim.Time
+	// EntitiesPerAQ shares one AQ grant among each group of entities — the
+	// paper's tenant-level grant carried by many flows — which is what
+	// makes the 10M-entity population affordable in host memory: the AQ
+	// state amortizes across the group. 0 or 1 deploys one AQ per entity.
+	EntitiesPerAQ int
+	// FillFrac is the fraction of each edge's population registered as
+	// untagged fixed-rate fill with no pipe accounting: a quiescent
+	// background the lane folds in O(1) per cohort-epoch after the first
+	// pass. 0 disables the fill population.
+	FillFrac float64
+	// FillRateFrac scales the fill entities' rate relative to the
+	// per-entity fair share; 0 selects 0.5.
+	FillRateFrac float64
+}
 
 // FluidScaleRun is one pass's raw outcome, compared across the
 // single-engine and partitioned passes for the determinism check.
 type FluidScaleRun struct {
-	SetupNS      int64
-	RunNS        int64
-	Epochs       uint64
-	EntityEpochs uint64
-	Delivered    float64
-	Dropped      float64
-	FGPackets    uint64
-	AQModelBytes int
-	HeapBytes    uint64
+	SetupNS             int64
+	RunNS               int64
+	Epochs              uint64
+	EntityEpochs        uint64
+	SkippedEntityEpochs uint64
+	Delivered           float64
+	Dropped             float64
+	FGPackets           uint64
+	AQModelBytes        int
+	HeapBytes           uint64
 }
 
-// RunFluidScale builds a k-ary fat tree split into the given domains,
-// spreads `entities` fluid entities evenly over the edge-switch ingress
-// tables (every entity holds its own AQ, deployed in bulk), points each at
-// its source host's uplink for residual accounting, and runs `fgFlows`
-// packet CUBIC foreground flows cross-pod for the horizon. Three of four
-// entities are fixed-rate blasters, every fourth is a loss-model AIMD
-// flow; allocations undercut the per-entity fair share and buffer limits
-// are sized to a couple of epochs of allocation, so the AQ admission
-// path — not just the link clip — sheds bytes every epoch.
-// Lanes are per-edge and therefore domain-local, so any partitioning
-// yields the identical simulation.
+// RunFluidScale runs the legacy-shaped scenario: one AQ per entity, no
+// fill population.
 func RunFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains int, parallel bool) FluidScaleRun {
+	return RunFluidScaleSpec(FluidScaleSpec{
+		K: k, Entities: entities, FGFlows: fgFlows, Epoch: epoch, Horizon: horizon,
+	}, domains, parallel)
+}
+
+// RunFluidScaleSpec builds a k-ary fat tree split into the given domains,
+// spreads the entities evenly over the edge-switch ingress tables (AQs
+// deployed in bulk, one per group of EntitiesPerAQ), points each tagged
+// entity at a source-host uplink for residual accounting, and runs the
+// packet CUBIC foreground cross-pod for the horizon. Within the tagged
+// population, three of four AQ groups are fixed-rate blasters and every
+// fourth is a loss-model AIMD flow; allocations undercut the per-entity
+// fair share and buffer limits are sized to a couple of epochs of
+// allocation, so the AQ admission path — not just the link clip — sheds
+// bytes every epoch. Lanes are per-edge and therefore domain-local, so
+// any partitioning yields the identical simulation.
+func RunFluidScaleSpec(spec FluidScaleSpec, domains int, parallel bool) FluidScaleRun {
 	var r FluidScaleRun
 	var ms runtime.MemStats
 	runtime.GC()
@@ -59,18 +97,28 @@ func RunFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains in
 	c := sim.NewCluster(domains)
 	defer c.Close()
 	c.SetParallel(parallel)
-	spec := topo.DefaultSim()
-	f := topo.NewFatTreeIn(c, k, spec, spec)
+	tspec := topo.DefaultSim()
+	f := topo.NewFatTreeIn(c, spec.K, tspec, tspec)
+	k := spec.K
 	half := k / 2
 	nHosts := len(f.Hosts)
 	perPod := f.HostsPerPod()
+
+	gsize := spec.EntitiesPerAQ
+	if gsize < 1 {
+		gsize = 1
+	}
+	fillRateFrac := spec.FillRateFrac
+	if fillRateFrac <= 0 {
+		fillRateFrac = 0.5
+	}
 
 	// Per-edge entity population. The per-entity fair share divides the
 	// edge's total uplink capacity; the AQ allocation undercuts it by half
 	// so admission sheds bytes even after the link clip.
 	edges := k * half
-	perEdge := entities / edges
-	extra := entities % edges
+	perEdge := spec.Entities / edges
+	extra := spec.Entities % edges
 	lanes := make([]*fluid.Lane, 0, edges)
 	edgeIdx := 0
 	for p := 0; p < k; p++ {
@@ -84,23 +132,44 @@ func RunFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains in
 				continue
 			}
 			sw := f.Edges[p][e]
-			share := units.BitRate(float64(half) * float64(spec.Rate) / float64(n))
-			alloc := units.BitRate(0.5 * float64(share))
-			// The buffer limit scales with the allocation — two epochs of
-			// allocated bytes, as a switch would size per-flow state — so
-			// the sustained excess hits the drop rule within a few epochs.
-			limit := int(alloc.BytesPerNano() * float64(2*epoch))
-			if limit < 1 {
-				limit = 1
+			fill := int(spec.FillFrac * float64(n))
+			tagged := n - fill
+			groups := (tagged + gsize - 1) / gsize
+			share := units.BitRate(float64(half) * float64(tspec.Rate) / float64(n))
+
+			// AQ configs in registration order — fixed groups first, then
+			// loss, sub-ordered by pipe — so the DeployBatch slab is laid
+			// out exactly as the lane walks it. Group g keeps the stable
+			// tag g+1, is loss-model iff g%4 == 0, and shares the uplink
+			// of host g%half; its allocation scales with its population.
+			groupSize := func(g int) int {
+				gn := gsize
+				if g == groups-1 {
+					gn = tagged - g*gsize
+				}
+				return gn
 			}
-			cfgs := make([]core.Config, n)
-			for i := range cfgs {
-				cfgs[i] = core.Config{ID: packet.AQID(i + 1), Rate: alloc, Limit: limit}
+			cfgs := make([]core.Config, 0, groups)
+			for class := 0; class < 2; class++ {
+				for pp := 0; pp < half; pp++ {
+					for g := 0; g < groups; g++ {
+						loss := g%4 == 0
+						if (class == 1) != loss || g%half != pp {
+							continue
+						}
+						alloc := units.BitRate(0.5 * float64(share) * float64(groupSize(g)))
+						limit := int(alloc.BytesPerNano() * float64(2*spec.Epoch))
+						if limit < 1 {
+							limit = 1
+						}
+						cfgs = append(cfgs, core.Config{ID: packet.AQID(g + 1), Rate: alloc, Limit: limit})
+					}
+				}
 			}
 			sw.Ingress.DeployBatch(cfgs)
 			r.AQModelBytes += sw.Ingress.MemoryBytes()
 
-			lane := fluid.NewLane(sw.Engine(), sw.Ingress, epoch)
+			lane := fluid.NewLane(sw.Engine(), sw.Ingress, spec.Epoch)
 			pipes := make([]int, half)
 			base := (p*half + e) * half
 			for i := 0; i < half; i++ {
@@ -108,24 +177,41 @@ func RunFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains in
 			}
 			lossPar := fluid.ParamsFor("cubic")
 			lossPar.MinRate = share.BytesPerNano() / 4
-			for i := 0; i < n; i++ {
-				cfg := fluid.EntityConfig{
-					AQ:   packet.AQID(i + 1),
-					Rate: units.BitRate(2 * float64(share)),
-					Pipe: pipes[i%half],
+			for class := 0; class < 2; class++ {
+				for pp := 0; pp < half; pp++ {
+					for g := 0; g < groups; g++ {
+						loss := g%4 == 0
+						if (class == 1) != loss || g%half != pp {
+							continue
+						}
+						cfg := fluid.EntityConfig{
+							AQ:   packet.AQID(g + 1),
+							Rate: units.BitRate(2 * float64(share)),
+							Pipe: pipes[pp],
+						}
+						if loss {
+							cfg.Params = &lossPar
+							cfg.Demand = units.BitRate(2 * float64(share))
+						}
+						lane.AddN(cfg, groupSize(g))
+					}
 				}
-				if i%4 == 0 {
-					cfg.Params = &lossPar
-					cfg.Demand = units.BitRate(2 * float64(share))
-				}
-				lane.Add(cfg)
 			}
-			lane.SetDeadline(horizon)
+			if fill > 0 {
+				// The quiescent tail: untagged, unpiped, fixed-rate — after
+				// one priming epoch the lane folds the whole cohort per
+				// epoch without touching its entities.
+				lane.AddN(fluid.EntityConfig{
+					Rate: units.BitRate(fillRateFrac * float64(share)),
+					Pipe: -1,
+				}, fill)
+			}
+			lane.SetDeadline(spec.Horizon)
 			lane.Start(0)
 			lanes = append(lanes, lane)
 		}
 	}
-	for i := 0; i < fgFlows; i++ {
+	for i := 0; i < spec.FGFlows; i++ {
 		src := f.Hosts[i%nHosts]
 		dst := f.Hosts[(i+2*perPod)%nHosts]
 		s := transport.NewSender(src, dst, 0, cc.NewCubic(), transport.Options{})
@@ -138,13 +224,14 @@ func RunFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains in
 	}
 
 	start := time.Now()
-	c.RunUntil(horizon)
+	c.RunUntil(spec.Horizon)
 	r.RunNS = time.Since(start).Nanoseconds()
 
 	for _, l := range lanes {
 		st := l.Stats()
 		r.Epochs += st.Epochs
 		r.EntityEpochs += st.EntityEpochs
+		r.SkippedEntityEpochs += st.SkippedEntityEpochs
 		r.Delivered += st.DeliveredBytes
 		r.Dropped += st.DroppedBytes
 	}
@@ -154,15 +241,16 @@ func RunFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains in
 	return r
 }
 
-// FluidScaleResult is the million-entity benchmark record. NsPerEntityEpoch
-// is the headline: the cost of carrying one background flow for one epoch,
+// FluidScaleResult is the scale benchmark record. NsPerEntityEpoch is the
+// headline: the cost of carrying one background flow for one epoch,
 // including its AQ admission step and its share of the residual
 // accounting. AQModelBytes is the paper's 15 B/AQ switch-memory model
 // summed over the edge tables; HeapBytes is the measured host cost of
-// holding the whole population. Identical compares the partitioned pass
-// against the single-engine pass — same fluid bytes, same entity-epochs,
-// same foreground packets — the cross-domain determinism check at
-// benchmark scope.
+// holding the whole population, HeapBytesPerEntity the same per entity —
+// the figure the 10M-entity record budgets. Identical compares the
+// partitioned pass against the single-engine pass — same fluid bytes,
+// same entity-epochs (skipped included), same foreground packets — the
+// cross-domain determinism check at benchmark scope.
 type FluidScaleResult struct {
 	K         int   `json:"k"`
 	Entities  int   `json:"entities"`
@@ -171,8 +259,12 @@ type FluidScaleResult struct {
 	HorizonNS int64 `json:"horizon_ns"`
 	EpochNS   int64 `json:"epoch_ns"`
 
-	Epochs       uint64 `json:"epochs"`
-	EntityEpochs uint64 `json:"entity_epochs"`
+	EntitiesPerAQ int     `json:"entities_per_aq,omitempty"`
+	FillFrac      float64 `json:"fill_frac,omitempty"`
+
+	Epochs              uint64 `json:"epochs"`
+	EntityEpochs        uint64 `json:"entity_epochs"`
+	SkippedEntityEpochs uint64 `json:"skipped_entity_epochs,omitempty"`
 
 	SetupNS          int64   `json:"setup_ns"`
 	SingleNS         int64   `json:"single_ns"`
@@ -182,44 +274,55 @@ type FluidScaleResult struct {
 
 	NsPerEntityEpoch   float64 `json:"ns_per_entity_epoch"`
 	EntityEpochsPerSec float64 `json:"entity_epochs_per_sec"`
+	QuiescentSkipPct   float64 `json:"quiescent_skip_pct,omitempty"`
 
 	FluidDeliveredBytes float64 `json:"fluid_delivered_bytes"`
 	FluidDroppedBytes   float64 `json:"fluid_dropped_bytes"`
 	FGPackets           uint64  `json:"fg_packets"`
 	AQModelBytes        int     `json:"aq_model_bytes"`
 	HeapBytes           uint64  `json:"heap_bytes"`
+	HeapBytesPerEntity  float64 `json:"heap_bytes_per_entity,omitempty"`
 
 	Identical bool   `json:"identical"`
 	Note      string `json:"note,omitempty"`
 }
 
-// MeasureFluidScale runs the fluid-scale scenario once on a single engine
-// (the timed pass the per-entity-epoch figures come from) and once
-// partitioned, with the same parallel-honesty convention as the fat-tree
-// benchmark: domains run on goroutines only when the host has the cores,
-// otherwise the pass is cooperative and no speedup is recorded.
-func MeasureFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domains int) FluidScaleResult {
+// HeapBudgetPerEntity is the gating host-memory budget for the 10M-entity
+// record: the structure-of-arrays layout plus the amortized shared-AQ
+// state must stay within this many heap bytes per entity at setup.
+const HeapBudgetPerEntity = 150.0
+
+// MeasureFluidScale runs the scale scenario once on a single engine (the
+// timed pass the per-entity-epoch figures come from) and once partitioned,
+// with the same parallel-honesty convention as the fat-tree benchmark:
+// domains run on goroutines only when the host has the cores, otherwise
+// the pass is cooperative and no speedup is recorded.
+func MeasureFluidScale(spec FluidScaleSpec, domains int) FluidScaleResult {
 	if domains < 2 {
 		domains = 2
 	}
 	r := FluidScaleResult{
-		K: k, Entities: entities, FGFlows: fgFlows, Domains: domains,
-		HorizonNS: int64(horizon), EpochNS: int64(epoch),
+		K: spec.K, Entities: spec.Entities, FGFlows: spec.FGFlows, Domains: domains,
+		HorizonNS: int64(spec.Horizon), EpochNS: int64(spec.Epoch),
+		EntitiesPerAQ: spec.EntitiesPerAQ, FillFrac: spec.FillFrac,
 	}
 
 	// Warm-up at 1% scale: heats the pools, the allocator and the wheel
 	// without paying a third full-scale pass.
-	warm := entities / 100
-	if warm < 1000 {
-		warm = entities
+	warmSpec := spec
+	warmSpec.Entities = spec.Entities / 100
+	if warmSpec.Entities < 1000 {
+		warmSpec.Entities = spec.Entities
 	}
-	RunFluidScale(k, warm, fgFlows, epoch, horizon/5, 1, false)
+	warmSpec.Horizon = spec.Horizon / 5
+	RunFluidScaleSpec(warmSpec, 1, false)
 
-	single := RunFluidScale(k, entities, fgFlows, epoch, horizon, 1, false)
+	single := RunFluidScaleSpec(spec, 1, false)
 	r.SetupNS = single.SetupNS
 	r.SingleNS = single.RunNS
 	r.Epochs = single.Epochs
 	r.EntityEpochs = single.EntityEpochs
+	r.SkippedEntityEpochs = single.SkippedEntityEpochs
 	r.FluidDeliveredBytes = single.Delivered
 	r.FluidDroppedBytes = single.Dropped
 	r.FGPackets = single.FGPackets
@@ -228,16 +331,21 @@ func MeasureFluidScale(k, entities, fgFlows int, epoch, horizon sim.Time, domain
 	if single.EntityEpochs > 0 {
 		r.NsPerEntityEpoch = float64(single.RunNS) / float64(single.EntityEpochs)
 		r.EntityEpochsPerSec = float64(single.EntityEpochs) / (float64(single.RunNS) / 1e9)
+		r.QuiescentSkipPct = 100 * float64(single.SkippedEntityEpochs) / float64(single.EntityEpochs)
+	}
+	if spec.Entities > 0 {
+		r.HeapBytesPerEntity = float64(single.HeapBytes) / float64(spec.Entities)
 	}
 
 	r.ParallelMeasured = runtime.GOMAXPROCS(0) >= domains
 	if !r.ParallelMeasured {
 		r.Note = "GOMAXPROCS < domains: partitioned pass ran cooperatively; a parallel speedup cannot be measured on this host"
 	}
-	parted := RunFluidScale(k, entities, fgFlows, epoch, horizon, domains, r.ParallelMeasured)
+	parted := RunFluidScaleSpec(spec, domains, r.ParallelMeasured)
 	r.PartitionedNS = parted.RunNS
 	r.Identical = parted.Delivered == single.Delivered &&
 		parted.EntityEpochs == single.EntityEpochs &&
+		parted.SkippedEntityEpochs == single.SkippedEntityEpochs &&
 		parted.FGPackets == single.FGPackets
 	if r.ParallelMeasured && r.PartitionedNS > 0 {
 		r.Speedup = float64(r.SingleNS) / float64(r.PartitionedNS)

@@ -63,7 +63,10 @@ func TestMeasureFluidScaleFull(t *testing.T) {
 	if os.Getenv("AQ_FLUIDSCALE_FULL") == "" {
 		t.Skip("set AQ_FLUIDSCALE_FULL=1 to run the full-scale scenario")
 	}
-	r := MeasureFluidScale(8, 1_000_000, 64, 500*sim.Microsecond, 5*sim.Millisecond, 2)
+	r := MeasureFluidScale(FluidScaleSpec{
+		K: 8, Entities: 1_000_000, FGFlows: 64,
+		Epoch: 500 * sim.Microsecond, Horizon: 5 * sim.Millisecond,
+	}, 2)
 	t.Logf("%.0f ns/entity-epoch, %.1fM entity-epochs/sec, setup %dms single %dms partitioned %dms",
 		r.NsPerEntityEpoch, r.EntityEpochsPerSec/1e6, r.SetupNS/1e6, r.SingleNS/1e6, r.PartitionedNS/1e6)
 	t.Logf("delivered %.1fMB shed %.1fMB fg=%d aqmodel=%dB heap=%dMB identical=%v",

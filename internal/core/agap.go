@@ -139,6 +139,14 @@ func (a *AQ) Stats() AQStats {
 
 // New builds an AQ from a configuration, applying defaults.
 func New(cfg Config) *AQ {
+	a := new(AQ)
+	a.init(cfg)
+	return a
+}
+
+// init configures an AQ in place, applying defaults. Shared by New and the
+// slab-allocating DeployBatch so both construction paths stay identical.
+func (a *AQ) init(cfg Config) {
 	limit := cfg.Limit
 	if limit == 0 {
 		limit = DefaultLimit
@@ -147,7 +155,7 @@ func New(cfg Config) *AQ {
 	if ecn == 0 {
 		ecn = DefaultECNThreshold
 	}
-	return &AQ{
+	*a = AQ{
 		id:           cfg.ID,
 		rate:         cfg.Rate.BytesPerNano(),
 		rateBits:     cfg.Rate,

@@ -110,10 +110,14 @@ func (t *Table) Deploy(cfg Config) *AQ {
 // DeployBatch installs (or replaces) an AQ per config, rebuilding the
 // lookup layout once at the end. Deploy rebuilds per call — O(table) each,
 // quadratic for bulk deploys — which the million-entity fluid scenarios
-// cannot afford.
+// cannot afford. The AQs of one batch are allocated as a single slab, so a
+// lane sweeping the table in ID order walks contiguous memory instead of
+// pointer-chasing one heap object per AQ.
 func (t *Table) DeployBatch(cfgs []Config) {
-	for _, cfg := range cfgs {
-		t.aqs[cfg.ID] = New(cfg)
+	slab := make([]AQ, len(cfgs))
+	for i, cfg := range cfgs {
+		slab[i].init(cfg)
+		t.aqs[cfg.ID] = &slab[i]
 	}
 	t.rebuild()
 }
@@ -149,6 +153,11 @@ func (t *Table) rebuild() {
 
 // Lookup returns the AQ deployed under id, or nil.
 func (t *Table) Lookup(id packet.AQID) *AQ { return t.aqs[id] }
+
+// Generation returns the membership generation counter — it ticks on every
+// Deploy/Remove. Cursors and lanes snapshot it to decide whether memoized
+// lookups (or lookup-free fast paths) are still valid.
+func (t *Table) Generation() uint64 { return t.gen }
 
 // Len returns the number of deployed AQs.
 func (t *Table) Len() int { return len(t.aqs) }

@@ -97,7 +97,7 @@ func fluidGuaranteeRun(fluidBG bool, horizon sim.Time, domains int, opts []sim.O
 	}
 	bgID := grant("bg")
 
-	var bgEntity *fluid.Entity
+	var bgEntity fluid.Entity
 	if fluidBG {
 		// The lane lives on S1's engine: its table, the bottleneck pipe
 		// and the epoch timer are all domain-local there.

@@ -1,0 +1,160 @@
+package fluid
+
+import (
+	"aqueue/internal/packet"
+	"aqueue/internal/sim"
+	"aqueue/internal/stats"
+)
+
+// cohort is a maximal run of consecutively-registered entities sharing one
+// (pipe, Params) class. Entity state lives in parallel slices — structure
+// of arrays — so the epoch loop streams through contiguous float64 lanes
+// instead of pointer-chasing one heap object per entity, and the model
+// reaction is resolved once per cohort instead of once per entity.
+//
+// The run-based grouping is what keeps the default path byte-identical to
+// the former per-object layout: iterating cohorts in creation order and
+// entities in index order replays the exact global registration order, so
+// every floating-point accumulation (pipe demand, lane totals, AQ state)
+// sees the same operands in the same sequence.
+type cohort struct {
+	par  Params
+	pipe int32 // index into the lane's pipes, -1 for none
+
+	// Per-cohort precomputation of the Params-derived constants the epoch
+	// loop consumes per entity: the additive-increase slope ai() and the
+	// rate floor(). Same bit patterns as computing them inline — the
+	// expressions are deterministic — just hoisted out of the hot loop.
+	aiSlope   float64
+	floorRate float64
+
+	// Parallel per-entity state. aqid is per-entity (tags are not part of
+	// the run key: a cohort may carry one tag per entity, as the scale
+	// benchmarks do, or one tag for all, which the batched path exploits).
+	aqid      []packet.AQID
+	rate      []float64      // current sending rate, bytes/ns
+	want      []float64      // pre-clip demanded rate for the current epoch
+	demand    []float64      // cap on rate (0 = none)
+	alpha     []float64      // DCTCP mark-fraction EWMA; allocated for ECN only
+	delivered []float64      // cumulative accepted bytes
+	dropped   []float64      // cumulative dropped bytes (link clip + AQ)
+	meters    []*stats.Meter // allocated only once some entity has a meter
+
+	uniformTag bool // every entity carries aqid[0] (batching eligibility)
+	hasMeter   bool
+
+	// Quiescence state. A Fixed-model cohort whose tags all missed the
+	// table (or are untagged), with no meters attached, is inert: given the
+	// same clip and epoch width, every per-entity number of the next epoch
+	// is exactly the previous one's. One full pass primes the aggregates
+	// below; subsequent epochs fold them in O(1) per cohort and count the
+	// streak, and materialize() replays the streak into the per-entity
+	// slices when anything changes (or on Stop/read).
+	primed    bool
+	aqGen     uint64  // table generation the all-miss observation was made at
+	wantSum   float64 // Σ want[i], the cohort's phase-A demand contribution
+	acceptSum float64 // Σ accepted bytes per epoch at (lastClip, lastFdt)
+	lastClip  float64
+	lastFdt   float64
+	streak    uint64 // epochs skipped since the last full pass
+}
+
+// matches reports whether an entity with the given placement extends this
+// cohort's run. Params is all-scalar, so == is exact class identity.
+func (c *cohort) matches(pipe int32, par Params) bool {
+	return c.pipe == pipe && c.par == par
+}
+
+// materialize replays a quiescent streak into the per-entity slices: each
+// skipped epoch delivered want·clip·fdt bytes and shed the link-clip
+// remainder, for every entity, with no AQ involved (the cohort was
+// all-miss). Called before any state-changing step and on Stop.
+func (c *cohort) materialize() {
+	if c.streak == 0 {
+		return
+	}
+	k := float64(c.streak)
+	for i := range c.rate {
+		x := c.want[i] * c.lastClip * c.lastFdt
+		cl := c.want[i]*c.lastFdt - x
+		if cl < 0 {
+			cl = 0
+		}
+		c.delivered[i] += k * x
+		c.dropped[i] += k * cl
+	}
+	c.streak = 0
+}
+
+// deliveredAt returns entity i's cumulative accepted bytes with any active
+// streak folded in read-only — accessors must not mutate lane state.
+func (c *cohort) deliveredAt(i int32) float64 {
+	d := c.delivered[i]
+	if c.streak > 0 {
+		d += float64(c.streak) * (c.want[i] * c.lastClip * c.lastFdt)
+	}
+	return d
+}
+
+// droppedAt returns entity i's cumulative dropped bytes, streak folded in.
+func (c *cohort) droppedAt(i int32) float64 {
+	d := c.dropped[i]
+	if c.streak > 0 {
+		x := c.want[i] * c.lastClip * c.lastFdt
+		cl := c.want[i]*c.lastFdt - x
+		if cl < 0 {
+			cl = 0
+		}
+		d += float64(c.streak) * cl
+	}
+	return d
+}
+
+// react folds one epoch's feedback into entity i's rate ODE — the exact
+// per-model update of the former Entity.OnFeedback, with the composite
+// loss already computed by the caller. Used by the batched path, where the
+// whole cohort shares one feedback; the default path inlines the same
+// arithmetic in per-model loops instead of switching per entity.
+func (c *cohort) react(i int, loss, markFrac float64, delay sim.Time, fdt float64) {
+	switch c.par.Model {
+	case Fixed:
+		return
+	case Loss:
+		if loss > 1e-9 {
+			c.rate[i] *= 1 - c.par.Beta
+		} else {
+			c.rate[i] += c.aiSlope * fdt
+		}
+	case ECN:
+		g := c.par.Gain
+		c.alpha[i] = (1-g)*c.alpha[i] + g*markFrac
+		if markFrac > 1e-9 || loss > 1e-9 {
+			cut := c.alpha[i] / 2
+			if loss > 1e-9 && cut < c.par.Beta {
+				cut = c.par.Beta // losses still halve, as DCTCP does
+			}
+			c.rate[i] *= 1 - cut
+		} else {
+			c.rate[i] += c.aiSlope * fdt
+		}
+	case Delay:
+		d := float64(delay)
+		if t := float64(c.par.Target); d > t && d > 0 {
+			f := 1 - c.par.Beta*(d-t)/d
+			if f < 0.3 {
+				f = 0.3
+			}
+			c.rate[i] *= f
+		} else if loss > 1e-9 {
+			c.rate[i] *= 1 - c.par.Beta
+		} else {
+			c.rate[i] += c.aiSlope * fdt
+		}
+	}
+	if c.rate[i] < c.floorRate {
+		c.rate[i] = c.floorRate
+	}
+	if d := c.demand[i]; d > 0 && c.rate[i] > d {
+		c.rate[i] = d
+	}
+}

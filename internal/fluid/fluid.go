@@ -8,16 +8,22 @@
 // first-order abstraction of its congestion-control family (additive
 // increase, multiplicative decrease on the AQ's drop/mark/delay feedback),
 // and every epoch the lane integrates rate·dt bytes through the same
-// core.Table the packet lane uses — via the core.ArrivalStream interface —
-// and shares link capacity with packets via per-pipe residual-rate
-// accounting (topo.Pipe.SetFluidRate). Foreground flows stay packet-level;
-// the AQ sees the sum. This is the standard Level-3/Level-4 modelling
-// technique, and it is what takes the simulator from thousands of
-// concurrent flows to millions of entities.
+// core.Table the packet lane uses and shares link capacity with packets
+// via per-pipe residual-rate accounting (topo.Pipe.SetFluidRate).
+// Foreground flows stay packet-level; the AQ sees the sum. This is the
+// standard Level-3/Level-4 modelling technique, and it is what takes the
+// simulator from thousands of concurrent flows to millions of entities.
+//
+// Entity state is structure-of-arrays: consecutively-registered entities
+// of one (pipe, params) class form a cohort whose state lives in parallel
+// float64 slices (cohort.go), stepped by per-model inner loops with the
+// cohort's AQ resolved through a core.StreamCursor, quiescent cohorts
+// skipped in O(1), and — under WithCohortBatching — a whole same-tag
+// cohort integrated as one closed-form epoch. An Entity is a stable
+// (cohort, index) handle.
 package fluid
 
 import (
-	"aqueue/internal/core"
 	"aqueue/internal/packet"
 	"aqueue/internal/sim"
 	"aqueue/internal/stats"
@@ -132,105 +138,27 @@ type EntityConfig struct {
 	Meter *stats.Meter
 }
 
-// Entity is one fluid flow: a sending rate plus the first-order state of
-// its congestion model. It implements core.ArrivalStream; the Lane drives
-// it through the AQ table once per epoch. The struct is kept lean — the
-// million-entity scenarios hold one per flow.
+// Entity is a stable handle to one fluid flow: (cohort, index) into the
+// lane's structure-of-arrays state. Handles stay valid for the lane's
+// lifetime — cohorts only ever append. The zero Entity is not attached to
+// a lane; using it panics.
 type Entity struct {
 	lane *Lane
-	id   packet.AQID
-	par  Params
-
-	rate   float64 // current sending rate, bytes/ns
-	demand float64 // cap on rate (0 = none)
-	clip   float64 // link-share multiplier for the current epoch
-	want   float64 // pre-clip demanded rate for the current epoch
-	alpha  float64 // DCTCP mark-fraction EWMA
-
-	pipe  int32
-	meter *stats.Meter
-
-	delivered float64 // cumulative accepted bytes
-	dropped   float64 // cumulative dropped bytes (link clip + AQ)
+	c, i int32
 }
 
-// AQID implements core.ArrivalStream.
-func (e *Entity) AQID() packet.AQID { return e.id }
-
-// OfferedBytes implements core.ArrivalStream: the entity's post-clip rate
-// integrated over the epoch.
-func (e *Entity) OfferedBytes(now sim.Time, dt sim.Time) float64 {
-	return e.want * e.clip * float64(dt)
-}
-
-// OnFeedback implements core.ArrivalStream: fold the AQ's epoch verdict —
-// widened with the link-share clip, which a packet sender would also have
-// experienced as loss — into the rate ODE.
-func (e *Entity) OnFeedback(fb core.FluidFeedback) {
-	dt := float64(e.lane.epoch)
-	e.delivered += fb.Accepted
-	clipped := e.want*float64(e.lane.epoch) - (fb.Accepted + fb.Dropped)
-	if clipped < 0 {
-		clipped = 0
-	}
-	e.dropped += fb.Dropped + clipped
-	if e.meter != nil {
-		e.meter.AddFloat(e.lane.now, fb.Accepted)
-	}
-	loss := fb.LossFrac()
-	if e.clip < 1 {
-		// Composite loss: survive the link clip, then the AQ.
-		loss = 1 - e.clip*(1-loss)
-	}
-	switch e.par.Model {
-	case Fixed:
-		return
-	case Loss:
-		if loss > 1e-9 {
-			e.rate *= 1 - e.par.Beta
-		} else {
-			e.rate += e.par.ai() * dt
-		}
-	case ECN:
-		g := e.par.Gain
-		e.alpha = (1-g)*e.alpha + g*fb.MarkFrac
-		if fb.MarkFrac > 1e-9 || loss > 1e-9 {
-			cut := e.alpha / 2
-			if loss > 1e-9 && cut < e.par.Beta {
-				cut = e.par.Beta // losses still halve, as DCTCP does
-			}
-			e.rate *= 1 - cut
-		} else {
-			e.rate += e.par.ai() * dt
-		}
-	case Delay:
-		d := float64(fb.Delay)
-		if t := float64(e.par.Target); d > t && d > 0 {
-			f := 1 - e.par.Beta*(d-t)/d
-			if f < 0.3 {
-				f = 0.3
-			}
-			e.rate *= f
-		} else if loss > 1e-9 {
-			e.rate *= 1 - e.par.Beta
-		} else {
-			e.rate += e.par.ai() * dt
-		}
-	}
-	if floor := e.par.floor(); e.rate < floor {
-		e.rate = floor
-	}
-	if e.demand > 0 && e.rate > e.demand {
-		e.rate = e.demand
-	}
-}
+// AQID returns the tag the entity's bytes carry through the lane's table.
+func (e Entity) AQID() packet.AQID { return e.lane.cohorts[e.c].aqid[e.i] }
 
 // Rate returns the entity's current sending rate.
-func (e *Entity) Rate() units.BitRate { return units.BitRate(e.rate * 8e9) }
+func (e Entity) Rate() units.BitRate {
+	return units.BitRate(e.lane.cohorts[e.c].rate[e.i] * 8e9)
+}
 
 // Delivered returns the cumulative bytes the network accepted from the
-// entity.
-func (e *Entity) Delivered() float64 { return e.delivered }
+// entity, including any epochs currently folded into a quiescent streak.
+func (e Entity) Delivered() float64 { return e.lane.cohorts[e.c].deliveredAt(e.i) }
 
-// Dropped returns the cumulative bytes shed by link sharing and the AQ.
-func (e *Entity) Dropped() float64 { return e.dropped }
+// Dropped returns the cumulative bytes shed by link sharing and the AQ,
+// including any epochs currently folded into a quiescent streak.
+func (e Entity) Dropped() float64 { return e.lane.cohorts[e.c].droppedAt(e.i) }

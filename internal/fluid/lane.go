@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"aqueue/internal/core"
+	"aqueue/internal/packet"
 	"aqueue/internal/sim"
+	"aqueue/internal/stats"
 	"aqueue/internal/topo"
 	"aqueue/internal/units"
 )
@@ -22,15 +24,33 @@ const DefaultEpoch = 100 * sim.Microsecond
 
 // pipeAccount tracks one link shared between the lanes: packet bytes
 // observed per epoch become the fluid residual, and accepted fluid rate
-// is pushed back as the packet lane's residual via SetFluidRate.
+// is pushed back as the packet lane's residual via SetFluidRate. Capacity
+// is re-read from the pipe every epoch, so a runtime set_rate over the
+// wire reshapes the residual from the next epoch on.
 type pipeAccount struct {
 	pipe   *topo.Pipe
-	cap    float64 // link capacity, bytes/ns
-	lastTx uint64  // pipe.TxBytes at the previous epoch
+	lastTx uint64 // pipe.TxBytes at the previous epoch
 
 	demand   float64 // accumulated fluid demand this epoch, bytes/ns
 	clip     float64 // allowed fraction of demand this epoch
 	accepted float64 // accepted fluid rate this epoch, bytes/ns
+}
+
+// LaneOption configures a Lane at construction.
+type LaneOption func(*Lane)
+
+// WithCohortBatching folds each uniform-tag cohort's offered bytes into a
+// single AQ.OnFluidEpoch call per epoch, distributing the feedback
+// pro-rata by demand, instead of integrating one epoch per entity. For n
+// same-tag entities this replaces n closed-form integrations (of which
+// all but the first degenerate to point deposits, since the first already
+// advanced last_time to the epoch boundary) with one integration of the
+// summed rate — O(1) AQ work per cohort, and arguably closer to the
+// continuous Expression 7 than the per-entity pile-up. The trajectory is
+// not bit-identical to the per-entity path; the equivalence test bounds
+// the divergence within the fluid lane's fidelity tolerance.
+func WithCohortBatching() LaneOption {
+	return func(l *Lane) { l.batch = true }
 }
 
 // Lane advances a set of fluid entities at a fixed epoch on its engine's
@@ -39,14 +59,23 @@ type pipeAccount struct {
 // events, so in a partitioned run they never widen a sync window (timers
 // only shrink a domain's earliest-arrival bound, which is always honest),
 // and the cluster's fingerprint gates bind exactly as before.
+//
+// Entity state is held in structure-of-arrays cohorts (see cohort.go);
+// the lane steps cohorts directly with per-model inner loops, resolving
+// AQs through a core.StreamCursor, and skips quiescent cohorts outright.
+// The steady state of fire allocates nothing.
 type Lane struct {
 	eng   *sim.Engine
 	table *core.Table
 	epoch sim.Time
 	timer *sim.Timer
+	batch bool
 
-	entities []*Entity
-	pipes    []*pipeAccount
+	cohorts []cohort
+	pipes   []pipeAccount
+	total   int // entity count across cohorts
+
+	cursor core.StreamCursor
 
 	// now/lastFire bracket the epoch being integrated while fire runs.
 	now      sim.Time
@@ -54,19 +83,24 @@ type Lane struct {
 	deadline sim.Time // no epochs fire after this (0 = unbounded)
 	running  bool
 
-	epochs       uint64
-	entityEpochs uint64
-	delivered    float64
-	dropped      float64
+	epochs              uint64
+	entityEpochs        uint64
+	skippedEntityEpochs uint64
+	batchedEntityEpochs uint64
+	delivered           float64
+	dropped             float64
 }
 
 // NewLane builds a fluid lane stepping the given table's AQs on eng every
 // epoch (0 selects DefaultEpoch).
-func NewLane(eng *sim.Engine, table *core.Table, epoch sim.Time) *Lane {
+func NewLane(eng *sim.Engine, table *core.Table, epoch sim.Time, opts ...LaneOption) *Lane {
 	if epoch <= 0 {
 		epoch = DefaultEpoch
 	}
 	l := &Lane{eng: eng, table: table, epoch: epoch}
+	for _, o := range opts {
+		o(l)
+	}
 	l.timer = eng.NewTimer(l.fire)
 	return l
 }
@@ -82,51 +116,99 @@ func (l *Lane) AddPipe(p *topo.Pipe) int {
 	if p.Engine() != l.eng {
 		panic("fluid: pipe belongs to another engine; a lane is domain-local")
 	}
-	l.pipes = append(l.pipes, &pipeAccount{
+	l.pipes = append(l.pipes, pipeAccount{
 		pipe:   p,
-		cap:    p.Rate().BytesPerNano(),
 		lastTx: p.TxBytes,
 		clip:   1,
 	})
 	return len(l.pipes) - 1
 }
 
-// Add builds an entity from cfg and registers it with the lane.
-func (l *Lane) Add(cfg EntityConfig) *Entity {
+// Add builds an entity from cfg and registers it with the lane, returning
+// a stable handle. Consecutive Adds with the same (pipe, params) class
+// extend one cohort.
+func (l *Lane) Add(cfg EntityConfig) Entity { return l.AddN(cfg, 1) }
+
+// AddN registers n identical entities from cfg — one cohort extension, the
+// bulk path for drivers attaching whole populations — and returns the
+// handle of the first. Handles for the rest follow in registration order
+// via Entities().
+func (l *Lane) AddN(cfg EntityConfig, n int) Entity {
+	if n <= 0 {
+		panic("fluid: AddN needs n >= 1")
+	}
 	par := ParamsFor(cfg.CC)
 	if cfg.Params != nil {
 		par = *cfg.Params
 	}
-	e := &Entity{
-		lane:   l,
-		id:     cfg.AQ,
-		par:    par,
-		rate:   cfg.Rate.BytesPerNano(),
-		demand: cfg.Demand.BytesPerNano(),
-		clip:   1,
-		pipe:   -1,
-		meter:  cfg.Meter,
-	}
+	pipe := int32(-1)
 	if cfg.Pipe >= 0 {
 		if cfg.Pipe >= len(l.pipes) {
 			panic(fmt.Sprintf("fluid: entity pipe index %d out of range", cfg.Pipe))
 		}
-		e.pipe = int32(cfg.Pipe)
+		pipe = int32(cfg.Pipe)
 	}
-	if floor := par.floor(); e.rate < floor && par.Model != Fixed {
-		e.rate = floor
+	ci := len(l.cohorts) - 1
+	if ci < 0 || !l.cohorts[ci].matches(pipe, par) {
+		l.cohorts = append(l.cohorts, cohort{
+			par:        par,
+			pipe:       pipe,
+			aiSlope:    par.ai(),
+			floorRate:  par.floor(),
+			uniformTag: true,
+		})
+		ci++
 	}
-	l.entities = append(l.entities, e)
-	return e
+	c := &l.cohorts[ci]
+	// A population change invalidates any primed quiescence aggregates.
+	c.materialize()
+	c.primed = false
+	if len(c.aqid) > 0 && c.aqid[0] != cfg.AQ {
+		c.uniformTag = false
+	}
+	if cfg.Meter != nil && c.meters == nil {
+		// First metered entity: backfill nil meters for the earlier ones.
+		c.meters = make([]*stats.Meter, len(c.aqid))
+	}
+	first := int32(len(c.aqid))
+	rate := cfg.Rate.BytesPerNano()
+	if par.Model != Fixed && rate < c.floorRate {
+		rate = c.floorRate
+	}
+	demand := cfg.Demand.BytesPerNano()
+	for k := 0; k < n; k++ {
+		c.aqid = append(c.aqid, cfg.AQ)
+		c.rate = append(c.rate, rate)
+		c.want = append(c.want, 0)
+		c.demand = append(c.demand, demand)
+		c.delivered = append(c.delivered, 0)
+		c.dropped = append(c.dropped, 0)
+		if par.Model == ECN {
+			c.alpha = append(c.alpha, 0)
+		}
+		if c.meters != nil {
+			c.meters = append(c.meters, cfg.Meter)
+		}
+	}
+	if cfg.Meter != nil {
+		c.hasMeter = true
+	}
+	l.total += n
+	return Entity{lane: l, c: int32(ci), i: first}
 }
 
-// Start arms the first epoch at now+epoch. Idempotent while running.
+// Start arms the first epoch at now+epoch. Idempotent while running. On a
+// restart after Stop, the per-pipe tx counters are re-baselined: packet
+// bytes sent while the lane was stopped are not this lane's epoch traffic.
 func (l *Lane) Start(now sim.Time) {
 	if l.running {
 		return
 	}
 	l.running = true
 	l.lastFire = now
+	for i := range l.pipes {
+		l.pipes[i].lastTx = l.pipes[i].pipe.TxBytes
+	}
 	l.timer.Arm(now + l.epoch)
 }
 
@@ -135,20 +217,32 @@ func (l *Lane) Start(now sim.Time) {
 // a far horizon and rely on event exhaustion to finish early.
 func (l *Lane) SetDeadline(t sim.Time) { l.deadline = t }
 
-// Stop disarms the lane and releases its pipes back to the packet lane.
+// Stop disarms the lane, settles any quiescent streaks into the per-entity
+// state, and releases its pipes back to the packet lane. A stopped lane
+// may be Started again.
 func (l *Lane) Stop() {
 	l.running = false
 	l.timer.Disarm()
-	for _, pa := range l.pipes {
-		pa.pipe.SetFluidRate(0)
+	l.settle()
+	for i := range l.pipes {
+		l.pipes[i].pipe.SetFluidRate(0)
+	}
+}
+
+// settle materializes every cohort's pending streak.
+func (l *Lane) settle() {
+	for ci := range l.cohorts {
+		l.cohorts[ci].materialize()
 	}
 }
 
 // fire integrates one epoch: observe the packet lane's per-pipe usage,
-// clip fluid demand to the residual, drive every entity through the AQ
-// table, and push the accepted fluid rate back onto the pipes. Iteration
-// is in registration order over plain slices, so a run is deterministic
-// for a given build-up sequence regardless of domain count.
+// clip fluid demand to the residual, step every cohort through the AQ
+// table, and push the accepted fluid rate back onto the pipes. Cohorts
+// iterate in creation order and entities in index order — exactly the
+// global registration order — so a run is deterministic for a given
+// build-up sequence regardless of domain count, and the default path is
+// byte-identical to the former per-entity-object layout.
 func (l *Lane) fire() {
 	now := l.eng.Now()
 	dt := now - l.lastFire
@@ -162,29 +256,52 @@ func (l *Lane) fire() {
 
 	// Per-pipe residual: capacity minus what the packet lane actually
 	// sent during the epoch, floored so fluid cannot starve packets.
-	for _, pa := range l.pipes {
+	for i := range l.pipes {
+		pa := &l.pipes[i]
+		cap := pa.pipe.Rate().BytesPerNano()
 		tx := pa.pipe.TxBytes
 		pktRate := float64(tx-pa.lastTx) / fdt
 		pa.lastTx = tx
-		res := pa.cap - pktRate
-		if floor := pa.cap * minResidualFrac; res < floor {
+		res := cap - pktRate
+		if floor := cap * minResidualFrac; res < floor {
 			res = floor
 		}
 		pa.demand = 0
 		pa.accepted = 0
 		pa.clip = res // reuse: holds residual until demand is known
 	}
-	// Accumulate demand, then convert residuals into clip fractions.
-	for _, e := range l.entities {
-		e.want = e.rate
-		if e.demand > 0 && e.want > e.demand {
-			e.want = e.demand
+	gen := l.table.Generation()
+	// Accumulate demand, then convert residuals into clip fractions. A
+	// primed cohort's wants are unchanged by construction, so its
+	// precomputed sum replaces the per-entity pass.
+	for ci := range l.cohorts {
+		c := &l.cohorts[ci]
+		if c.primed && c.aqGen == gen {
+			if c.pipe >= 0 {
+				l.pipes[c.pipe].demand += c.wantSum
+			}
+			continue
 		}
-		if e.pipe >= 0 {
-			l.pipes[e.pipe].demand += e.want
+		if c.pipe >= 0 {
+			pd := &l.pipes[c.pipe].demand
+			for i, r := range c.rate {
+				if d := c.demand[i]; d > 0 && r > d {
+					r = d
+				}
+				c.want[i] = r
+				*pd += r
+			}
+		} else {
+			for i, r := range c.rate {
+				if d := c.demand[i]; d > 0 && r > d {
+					r = d
+				}
+				c.want[i] = r
+			}
 		}
 	}
-	for _, pa := range l.pipes {
+	for i := range l.pipes {
+		pa := &l.pipes[i]
 		res := pa.clip
 		if pa.demand > res {
 			pa.clip = res / pa.demand
@@ -192,28 +309,312 @@ func (l *Lane) fire() {
 			pa.clip = 1
 		}
 	}
-	// Per-entity AQ step and model update.
-	for _, e := range l.entities {
-		if e.pipe >= 0 {
-			e.clip = l.pipes[e.pipe].clip
-		} else {
-			e.clip = 1
+	// Per-cohort AQ step and model update.
+	l.cursor.Bind(l.table)
+	for ci := range l.cohorts {
+		c := &l.cohorts[ci]
+		clip := 1.0
+		var pa *pipeAccount
+		if c.pipe >= 0 {
+			pa = &l.pipes[c.pipe]
+			clip = pa.clip
 		}
-		fb := l.table.ProcessStream(now, dt, e)
-		l.delivered += fb.Accepted
-		l.dropped += fb.Dropped
-		if e.pipe >= 0 {
-			l.pipes[e.pipe].accepted += fb.Accepted / fdt
+		if c.primed && c.aqGen == gen && clip == c.lastClip && fdt == c.lastFdt {
+			// Quiescent: a Fixed all-miss meterless cohort under the same
+			// clip and epoch width reproduces last epoch's numbers
+			// exactly — fold the aggregates, extend the streak, done.
+			c.streak++
+			l.delivered += c.acceptSum
+			if pa != nil {
+				pa.accepted += c.acceptSum / fdt
+			}
+			l.skippedEntityEpochs += uint64(len(c.rate))
+			continue
 		}
+		c.materialize()
+		c.primed = false
+		if l.batch && c.uniformTag && len(c.aqid) > 0 && c.aqid[0] != packet.NoAQ && l.table.Lookup(c.aqid[0]) != nil {
+			l.stepCohortBatched(c, now, dt, fdt, clip, pa)
+			continue
+		}
+		l.stepCohort(c, gen, now, dt, fdt, clip, pa)
 	}
-	l.entityEpochs += uint64(len(l.entities))
+	l.entityEpochs += uint64(l.total)
 	l.epochs++
+	l.cursor.Flush()
 	// Couple back: the packet lane serializes at the residual of the
 	// accepted fluid rate until the next epoch.
-	for _, pa := range l.pipes {
+	for i := range l.pipes {
+		pa := &l.pipes[i]
 		pa.pipe.SetFluidRate(units.BitRate(pa.accepted * 8e9))
 	}
 	l.rearm(now)
+}
+
+// stepCohort advances one cohort per-entity — the default, byte-identical
+// path. The model dispatch is hoisted out of the entity loop: each model
+// gets its own inner loop over the cohort's arrays, with both the epoch
+// integration and the reaction arithmetic inlined exactly as the former
+// ProcessStream + Entity.OnFeedback computed them (same operands, same
+// order, per entity). The duplication across the four loops is deliberate:
+// this is the hot loop of the million-entity scenarios, and keeping the
+// body inline lets the compiler hold the lane accumulators in registers.
+// The Fixed loop omits the loss computation entirely — the model ignores
+// it, so the divisions had no observable effect.
+func (l *Lane) stepCohort(c *cohort, gen uint64, now, dt sim.Time, fdt, clip float64, pa *pipeAccount) {
+	n := len(c.rate)
+	cur := &l.cursor
+	switch c.par.Model {
+	case Fixed:
+		aqFree := true
+		var wantSum, acceptSum float64
+		for i := 0; i < n; i++ {
+			want := c.want[i]
+			var fb core.FluidFeedback
+			if id := c.aqid[i]; id != packet.NoAQ {
+				if aq := cur.Resolve(id); aq != nil {
+					fb = aq.OnFluidEpoch(now, want*clip*fdt, dt)
+					aqFree = false
+				} else {
+					fb.Accepted = want * clip * fdt
+				}
+			} else {
+				fb.Accepted = want * clip * fdt
+			}
+			c.delivered[i] += fb.Accepted
+			clipped := want*fdt - (fb.Accepted + fb.Dropped)
+			if clipped < 0 {
+				clipped = 0
+			}
+			c.dropped[i] += fb.Dropped + clipped
+			if c.meters != nil {
+				if m := c.meters[i]; m != nil {
+					m.AddFloat(now, fb.Accepted)
+				}
+			}
+			l.delivered += fb.Accepted
+			l.dropped += fb.Dropped
+			if pa != nil {
+				pa.accepted += fb.Accepted / fdt
+			}
+			wantSum += want
+			acceptSum += fb.Accepted
+		}
+		if aqFree && !c.hasMeter {
+			// Prime the quiescence aggregates: nothing about this cohort
+			// can change until the clip, the epoch width, the table
+			// membership, or the population does.
+			c.primed = true
+			c.aqGen = gen
+			c.wantSum, c.acceptSum = wantSum, acceptSum
+			c.lastClip, c.lastFdt = clip, fdt
+		}
+	case Loss:
+		beta := c.par.Beta
+		for i := 0; i < n; i++ {
+			want := c.want[i]
+			var fb core.FluidFeedback
+			if id := c.aqid[i]; id != packet.NoAQ {
+				if aq := cur.Resolve(id); aq != nil {
+					fb = aq.OnFluidEpoch(now, want*clip*fdt, dt)
+				} else {
+					fb.Accepted = want * clip * fdt
+				}
+			} else {
+				fb.Accepted = want * clip * fdt
+			}
+			c.delivered[i] += fb.Accepted
+			clipped := want*fdt - (fb.Accepted + fb.Dropped)
+			if clipped < 0 {
+				clipped = 0
+			}
+			c.dropped[i] += fb.Dropped + clipped
+			if c.meters != nil {
+				if m := c.meters[i]; m != nil {
+					m.AddFloat(now, fb.Accepted)
+				}
+			}
+			l.delivered += fb.Accepted
+			l.dropped += fb.Dropped
+			if pa != nil {
+				pa.accepted += fb.Accepted / fdt
+			}
+			loss := fb.LossFrac()
+			if clip < 1 {
+				loss = 1 - clip*(1-loss)
+			}
+			r := c.rate[i]
+			if loss > 1e-9 {
+				r *= 1 - beta
+			} else {
+				r += c.aiSlope * fdt
+			}
+			if r < c.floorRate {
+				r = c.floorRate
+			}
+			if d := c.demand[i]; d > 0 && r > d {
+				r = d
+			}
+			c.rate[i] = r
+		}
+	case ECN:
+		g := c.par.Gain
+		beta := c.par.Beta
+		for i := 0; i < n; i++ {
+			want := c.want[i]
+			var fb core.FluidFeedback
+			if id := c.aqid[i]; id != packet.NoAQ {
+				if aq := cur.Resolve(id); aq != nil {
+					fb = aq.OnFluidEpoch(now, want*clip*fdt, dt)
+				} else {
+					fb.Accepted = want * clip * fdt
+				}
+			} else {
+				fb.Accepted = want * clip * fdt
+			}
+			c.delivered[i] += fb.Accepted
+			clipped := want*fdt - (fb.Accepted + fb.Dropped)
+			if clipped < 0 {
+				clipped = 0
+			}
+			c.dropped[i] += fb.Dropped + clipped
+			if c.meters != nil {
+				if m := c.meters[i]; m != nil {
+					m.AddFloat(now, fb.Accepted)
+				}
+			}
+			l.delivered += fb.Accepted
+			l.dropped += fb.Dropped
+			if pa != nil {
+				pa.accepted += fb.Accepted / fdt
+			}
+			loss := fb.LossFrac()
+			if clip < 1 {
+				loss = 1 - clip*(1-loss)
+			}
+			a := (1-g)*c.alpha[i] + g*fb.MarkFrac
+			c.alpha[i] = a
+			r := c.rate[i]
+			if fb.MarkFrac > 1e-9 || loss > 1e-9 {
+				cut := a / 2
+				if loss > 1e-9 && cut < beta {
+					cut = beta // losses still halve, as DCTCP does
+				}
+				r *= 1 - cut
+			} else {
+				r += c.aiSlope * fdt
+			}
+			if r < c.floorRate {
+				r = c.floorRate
+			}
+			if d := c.demand[i]; d > 0 && r > d {
+				r = d
+			}
+			c.rate[i] = r
+		}
+	case Delay:
+		beta := c.par.Beta
+		target := float64(c.par.Target)
+		for i := 0; i < n; i++ {
+			want := c.want[i]
+			var fb core.FluidFeedback
+			if id := c.aqid[i]; id != packet.NoAQ {
+				if aq := cur.Resolve(id); aq != nil {
+					fb = aq.OnFluidEpoch(now, want*clip*fdt, dt)
+				} else {
+					fb.Accepted = want * clip * fdt
+				}
+			} else {
+				fb.Accepted = want * clip * fdt
+			}
+			c.delivered[i] += fb.Accepted
+			clipped := want*fdt - (fb.Accepted + fb.Dropped)
+			if clipped < 0 {
+				clipped = 0
+			}
+			c.dropped[i] += fb.Dropped + clipped
+			if c.meters != nil {
+				if m := c.meters[i]; m != nil {
+					m.AddFloat(now, fb.Accepted)
+				}
+			}
+			l.delivered += fb.Accepted
+			l.dropped += fb.Dropped
+			if pa != nil {
+				pa.accepted += fb.Accepted / fdt
+			}
+			loss := fb.LossFrac()
+			if clip < 1 {
+				loss = 1 - clip*(1-loss)
+			}
+			r := c.rate[i]
+			if d := float64(fb.Delay); d > target && d > 0 {
+				f := 1 - beta*(d-target)/d
+				if f < 0.3 {
+					f = 0.3
+				}
+				r *= f
+			} else if loss > 1e-9 {
+				r *= 1 - beta
+			} else {
+				r += c.aiSlope * fdt
+			}
+			if r < c.floorRate {
+				r = c.floorRate
+			}
+			if d := c.demand[i]; d > 0 && r > d {
+				r = d
+			}
+			c.rate[i] = r
+		}
+	}
+}
+
+// stepCohortBatched integrates a uniform-tag cohort as one stream: the
+// summed offered bytes go through AQ.OnFluidEpoch once, and the feedback
+// is distributed pro-rata by each entity's demanded rate. Only reached
+// under WithCohortBatching, and only when the shared tag resolves to a
+// deployed AQ (misses fall back to the per-entity pass-through, which is
+// already O(n) trivial work).
+func (l *Lane) stepCohortBatched(c *cohort, now, dt sim.Time, fdt, clip float64, pa *pipeAccount) {
+	n := len(c.rate)
+	aq := l.cursor.Resolve(c.aqid[0])
+	var wantSum float64
+	for i := 0; i < n; i++ {
+		wantSum += c.want[i]
+	}
+	fb := aq.OnFluidEpoch(now, wantSum*clip*fdt, dt)
+	loss := fb.LossFrac()
+	if clip < 1 {
+		loss = 1 - clip*(1-loss)
+	}
+	inv := 0.0
+	if wantSum > 0 {
+		inv = 1 / wantSum
+	}
+	for i := 0; i < n; i++ {
+		share := c.want[i] * inv
+		acc := fb.Accepted * share
+		drp := fb.Dropped * share
+		c.delivered[i] += acc
+		clipped := c.want[i]*fdt - (acc + drp)
+		if clipped < 0 {
+			clipped = 0
+		}
+		c.dropped[i] += drp + clipped
+		if c.meters != nil {
+			if m := c.meters[i]; m != nil {
+				m.AddFloat(now, acc)
+			}
+		}
+		c.react(i, loss, fb.MarkFrac, fb.Delay, fdt)
+	}
+	l.delivered += fb.Accepted
+	l.dropped += fb.Dropped
+	if pa != nil {
+		pa.accepted += fb.Accepted / fdt
+	}
+	l.batchedEntityEpochs += uint64(n)
 }
 
 // rearm schedules the next epoch unless the deadline passed.
@@ -224,23 +625,29 @@ func (l *Lane) rearm(now sim.Time) {
 	next := now + l.epoch
 	if l.deadline > 0 && next > l.deadline {
 		l.running = false
+		l.settle()
 		// Release the pipes back to the packet lane.
-		for _, pa := range l.pipes {
-			pa.pipe.SetFluidRate(0)
+		for i := range l.pipes {
+			l.pipes[i].pipe.SetFluidRate(0)
 		}
 		return
 	}
 	l.timer.Arm(next)
 }
 
-// LaneStats summarises a lane for telemetry and benchmarks.
+// LaneStats summarises a lane for telemetry and benchmarks. The skipped
+// and batched counters are subsets of EntityEpochs: every entity is
+// accounted every epoch, whether it was stepped individually, folded into
+// a cohort aggregate, or skipped as quiescent.
 type LaneStats struct {
-	Entities       int     `json:"entities"`
-	Epochs         uint64  `json:"epochs"`
-	EntityEpochs   uint64  `json:"entity_epochs"`
-	DeliveredBytes float64 `json:"delivered_bytes"`
-	DroppedBytes   float64 `json:"dropped_bytes"`
-	EpochNS        int64   `json:"epoch_ns"`
+	Entities            int     `json:"entities"`
+	Epochs              uint64  `json:"epochs"`
+	EntityEpochs        uint64  `json:"entity_epochs"`
+	SkippedEntityEpochs uint64  `json:"skipped_entity_epochs,omitempty"`
+	BatchedEntityEpochs uint64  `json:"batched_entity_epochs,omitempty"`
+	DeliveredBytes      float64 `json:"delivered_bytes"`
+	DroppedBytes        float64 `json:"dropped_bytes"`
+	EpochNS             int64   `json:"epoch_ns"`
 }
 
 // Stats returns a snapshot of the lane's counters. Like the other
@@ -248,14 +655,26 @@ type LaneStats struct {
 // fold into fingerprints.
 func (l *Lane) Stats() LaneStats {
 	return LaneStats{
-		Entities:       len(l.entities),
-		Epochs:         l.epochs,
-		EntityEpochs:   l.entityEpochs,
-		DeliveredBytes: l.delivered,
-		DroppedBytes:   l.dropped,
-		EpochNS:        int64(l.epoch),
+		Entities:            l.total,
+		Epochs:              l.epochs,
+		EntityEpochs:        l.entityEpochs,
+		SkippedEntityEpochs: l.skippedEntityEpochs,
+		BatchedEntityEpochs: l.batchedEntityEpochs,
+		DeliveredBytes:      l.delivered,
+		DroppedBytes:        l.dropped,
+		EpochNS:             int64(l.epoch),
 	}
 }
 
-// Entities returns the lane's entities in registration order.
-func (l *Lane) Entities() []*Entity { return l.entities }
+// Entities returns handles for the lane's entities in registration order.
+// The slice is built on demand — the lane itself never stores per-entity
+// objects.
+func (l *Lane) Entities() []Entity {
+	out := make([]Entity, 0, l.total)
+	for ci := range l.cohorts {
+		for i := range l.cohorts[ci].rate {
+			out = append(out, Entity{lane: l, c: int32(ci), i: int32(i)})
+		}
+	}
+	return out
+}

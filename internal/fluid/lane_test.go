@@ -1,0 +1,224 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"aqueue/internal/core"
+	"aqueue/internal/sim"
+	"aqueue/internal/topo"
+	"aqueue/internal/units"
+)
+
+// TestFireSteadyStateAllocFree pins the structure-of-arrays payoff: once a
+// lane is warm, an epoch allocates nothing — no per-entity objects, no
+// cursor churn, no timer garbage — across all four model loops, tagged and
+// untagged entities, and a live pipe account.
+func TestFireSteadyStateAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	table := core.NewTableDense(eng.Options().DenseTables)
+	table.Deploy(core.Config{ID: 1, Rate: 2 * units.Gbps})
+	table.Deploy(core.Config{ID: 2, Rate: units.Gbps})
+	pipe := topo.NewPipe(eng, 10*units.Gbps, sim.Microsecond, 0, 0, sink{})
+	lane := NewLane(eng, table, 0)
+	pi := lane.AddPipe(pipe)
+	lane.AddN(EntityConfig{AQ: 1, CC: "cubic", Rate: units.Gbps, Pipe: pi}, 8)
+	lane.AddN(EntityConfig{AQ: 2, CC: "dctcp", Rate: units.Gbps, Pipe: pi}, 8)
+	lane.AddN(EntityConfig{CC: "swift", Rate: units.Gbps, Pipe: pi}, 8)
+	lane.AddN(EntityConfig{CC: "udp", Rate: units.Gbps, Pipe: pi}, 8)
+	lane.Start(0)
+
+	// Warm up: first epochs carve wheel slots and touch every code path.
+	next := 5 * lane.Epoch()
+	eng.RunUntil(next)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		next += lane.Epoch()
+		eng.RunUntil(next)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state epoch allocated %.1f times, want 0", allocs)
+	}
+	if st := lane.Stats(); st.EntityEpochs == 0 {
+		t.Fatalf("no entity-epochs advanced; the alloc measurement measured nothing")
+	}
+}
+
+// TestCohortBatchingEquivalence: folding a uniform-tag cohort into one
+// OnFluidEpoch call must track the per-entity path within the fluid lane's
+// 5% fidelity tolerance. For a non-reactive cohort the two paths shed the
+// same mass (the AQ's per-epoch drain is fixed, only its split over calls
+// differs), so delivered AND dropped must agree. For a reactive cohort the
+// loss signal's timing differs by construction — per-entity integration
+// piles deposits up inside the epoch, so late entities absorb the shed
+// while batching spreads it — which perturbs the AIMD trajectory; there
+// the contract is on delivered bytes and the equal-share split, not on the
+// offered-load transient.
+func TestCohortBatchingEquivalence(t *testing.T) {
+	run := func(cc string, rate units.BitRate, opts ...LaneOption) (*Lane, []Entity) {
+		eng := sim.NewEngine()
+		table := core.NewTableDense(eng.Options().DenseTables)
+		table.Deploy(core.Config{ID: 3, Rate: 2 * units.Gbps})
+		lane := NewLane(eng, table, 0, opts...)
+		lane.AddN(EntityConfig{AQ: 3, CC: cc, Rate: rate, Pipe: -1}, 32)
+		lane.Start(0)
+		horizon := 20 * sim.Millisecond
+		lane.SetDeadline(horizon)
+		eng.RunUntil(horizon)
+		return lane, lane.Entities()
+	}
+	relDiff := func(a, b float64) float64 {
+		if a == 0 && b == 0 {
+			return 0
+		}
+		return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+	}
+
+	// Non-reactive overload: 4 Gbps offered against a 2 Gbps allocation.
+	pf, _ := run("udp", 125*units.Mbps)
+	bf, _ := run("udp", 125*units.Mbps, WithCohortBatching())
+	pfs, bfs := pf.Stats(), bf.Stats()
+	if bfs.BatchedEntityEpochs == 0 {
+		t.Fatalf("batching enabled but no entity-epochs took the batched path")
+	}
+	if pfs.EntityEpochs != bfs.EntityEpochs {
+		t.Fatalf("entity-epoch accounting diverged: %d vs %d", pfs.EntityEpochs, bfs.EntityEpochs)
+	}
+	if d := relDiff(pfs.DeliveredBytes, bfs.DeliveredBytes); d > 0.05 {
+		t.Errorf("fixed: delivered diverged %.1f%%: per-entity %.0f vs batched %.0f",
+			d*100, pfs.DeliveredBytes, bfs.DeliveredBytes)
+	}
+	if d := relDiff(pfs.DroppedBytes, bfs.DroppedBytes); d > 0.05 {
+		t.Errorf("fixed: dropped diverged %.1f%%: per-entity %.0f vs batched %.0f",
+			d*100, pfs.DroppedBytes, bfs.DroppedBytes)
+	}
+
+	// Reactive: cubic entities seeking the allocation.
+	pr, _ := run("cubic", 250*units.Mbps)
+	br, ents := run("cubic", 250*units.Mbps, WithCohortBatching())
+	prs, brs := pr.Stats(), br.Stats()
+	if d := relDiff(prs.DeliveredBytes, brs.DeliveredBytes); d > 0.05 {
+		t.Errorf("reactive: delivered diverged %.1f%%: per-entity %.0f vs batched %.0f",
+			d*100, prs.DeliveredBytes, brs.DeliveredBytes)
+	}
+	// Identical entities sharing one AQ must come out even under batching.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, e := range ents {
+		d := e.Delivered()
+		lo, hi = math.Min(lo, d), math.Max(hi, d)
+	}
+	if hi > 0 && lo/hi < 0.99 {
+		t.Errorf("pro-rata split uneven across identical entities: min %.0f max %.0f", lo, hi)
+	}
+}
+
+// TestLaneRestart: Stop must be a clean boundary — no epochs while
+// stopped, and a later Start re-baselines the per-pipe tx counters so
+// packet bytes sent in the gap are not billed against the first epoch's
+// residual.
+func TestLaneRestart(t *testing.T) {
+	eng := sim.NewEngine()
+	table := core.NewTableDense(eng.Options().DenseTables)
+	pipe := topo.NewPipe(eng, 10*units.Gbps, sim.Microsecond, 0, 0, sink{})
+	lane := NewLane(eng, table, 0)
+	pi := lane.AddPipe(pipe)
+	lane.Add(EntityConfig{CC: "udp", Rate: 4 * units.Gbps, Pipe: pi})
+	lane.Start(0)
+	eng.RunUntil(5 * sim.Millisecond)
+	lane.Stop()
+	st1 := lane.Stats()
+	if st1.DeliveredBytes <= 0 {
+		t.Fatalf("first run delivered nothing")
+	}
+	if fr := pipe.FluidRate(); fr != 0 {
+		t.Fatalf("FluidRate = %v after Stop, want 0", fr)
+	}
+
+	// While stopped: time passes, no epochs fire, and the packet lane moves
+	// a burst of bytes over the pipe.
+	eng.RunUntil(10 * sim.Millisecond)
+	if st := lane.Stats(); st.Epochs != st1.Epochs {
+		t.Fatalf("epochs advanced while stopped: %d -> %d", st1.Epochs, st.Epochs)
+	}
+	pipe.TxBytes += 50_000_000 // ~40ms of line rate, sent in the gap
+
+	lane.Start(eng.Now())
+	eng.RunUntil(15 * sim.Millisecond)
+	lane.Stop()
+	st2 := lane.Stats()
+	got := st2.DeliveredBytes - st1.DeliveredBytes
+	want := 4e9 / 8e9 * 5e6 // 4 Gbps over 5ms, in bytes
+	if got < 0.9*want {
+		t.Fatalf("post-restart delivered %.0f bytes, want ~%.0f — stale lastTx billed the stopped gap's traffic", got, want)
+	}
+}
+
+// TestPipeRateChangeMidRun is the stale-capacity regression: the lane must
+// re-read the pipe's rate every epoch, so a runtime SetRate (what a wire
+// set_rate lands as) reshapes the fluid residual from the next epoch on
+// rather than clipping against the capacity captured at AddPipe.
+func TestPipeRateChangeMidRun(t *testing.T) {
+	eng := sim.NewEngine()
+	table := core.NewTableDense(eng.Options().DenseTables)
+	pipe := topo.NewPipe(eng, 10*units.Gbps, sim.Microsecond, 0, 0, sink{})
+	lane := NewLane(eng, table, 0)
+	pi := lane.AddPipe(pipe)
+	lane.Add(EntityConfig{CC: "udp", Rate: 8 * units.Gbps, Pipe: pi})
+	lane.Start(0)
+	eng.RunUntil(2 * sim.Millisecond)
+	if fr := float64(pipe.FluidRate()); math.Abs(fr-8e9) > 1e8 {
+		t.Fatalf("pre-change FluidRate = %.2g, want ~8G", fr)
+	}
+	pipe.SetRate(4 * units.Gbps)
+	eng.RunUntil(4 * sim.Millisecond)
+	if fr := float64(pipe.FluidRate()); math.Abs(fr-4e9) > 1e8 {
+		t.Fatalf("post-change FluidRate = %.2g, want ~4G (clipped to the new link rate)", fr)
+	}
+	lane.Stop()
+}
+
+// TestQuiescenceSkipping: an untagged Fixed cohort settles after one full
+// epoch and is skipped from then on — with the counters recording the
+// skips, the accessors folding the pending streak read-only, and any
+// population change forcing a materialize + full pass. The skipped path
+// must be numerically exact, not approximate: the totals after Stop equal
+// the closed-form value.
+func TestQuiescenceSkipping(t *testing.T) {
+	eng := sim.NewEngine()
+	table := core.NewTableDense(eng.Options().DenseTables)
+	lane := NewLane(eng, table, 0)
+	e0 := lane.Add(EntityConfig{CC: "udp", Rate: units.Gbps, Pipe: -1})
+	lane.AddN(EntityConfig{CC: "udp", Rate: units.Gbps, Pipe: -1}, 3)
+	lane.Start(0)
+	ep := lane.Epoch()
+
+	eng.RunUntil(10*ep + ep/2) // 10 epochs fired
+	st := lane.Stats()
+	if st.EntityEpochs != 40 {
+		t.Fatalf("entity-epochs = %d, want 40 (4 entities x 10 epochs, skipped included)", st.EntityEpochs)
+	}
+	if st.SkippedEntityEpochs != 36 {
+		t.Fatalf("skipped = %d, want 36 (epoch 1 primes, epochs 2-10 skip)", st.SkippedEntityEpochs)
+	}
+	// Mid-streak accessor: 1 Gbps over 10 epochs, folded without mutating.
+	perEpoch := float64(units.Gbps) / 8e9 * float64(ep)
+	if got, want := e0.Delivered(), 10*perEpoch; got != want {
+		t.Fatalf("mid-streak Delivered = %v, want exactly %v", got, want)
+	}
+	if got := lane.Stats().DeliveredBytes; got != 40*perEpoch {
+		t.Fatalf("lane delivered = %v, want exactly %v", got, 40*perEpoch)
+	}
+
+	// Growing the cohort invalidates the primed aggregates: the next epoch
+	// is a full pass, then skipping resumes for the larger population.
+	lane.Add(EntityConfig{CC: "udp", Rate: units.Gbps, Pipe: -1})
+	eng.RunUntil(12*ep + ep/2)
+	st2 := lane.Stats()
+	if st2.SkippedEntityEpochs != 36+5 {
+		t.Fatalf("skipped after growth = %d, want 41 (full pass on epoch 11, skip 5 on epoch 12)", st2.SkippedEntityEpochs)
+	}
+	lane.Stop()
+	if got, want := e0.Delivered(), 12*perEpoch; got != want {
+		t.Fatalf("post-Stop Delivered = %v, want exactly %v", got, want)
+	}
+}

@@ -154,9 +154,7 @@ func (f *Fabric) attachFluid(spec LoadSpec) (*Driver, error) {
 	lane := fluid.NewLane(f.fluidSw.Engine(), f.fluidSw.Ingress, f.cfg.FluidEpoch)
 	pi := lane.AddPipe(f.fluidPipe)
 	per := units.BitRate(spec.Load * float64(f.capacity) / float64(entities))
-	for i := 0; i < entities; i++ {
-		lane.Add(fluid.EntityConfig{AQ: spec.AQ, CC: ccName, Rate: per, Pipe: pi})
-	}
+	lane.AddN(fluid.EntityConfig{AQ: spec.AQ, CC: ccName, Rate: per, Pipe: pi}, entities)
 	lane.Start(f.Now())
 	d := &Driver{ID: id, spec: spec, f: f, lane: lane}
 	f.drivers[id] = d
